@@ -1,0 +1,104 @@
+package bypassd
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// the DESIGN.md ablations. Each benchmark drives the corresponding
+// harness in internal/experiments at reduced (Quick) scale so the
+// whole suite completes in minutes; run cmd/bypassd-bench -full for
+// paper-scale sweeps. Benchmarks report the experiment's headline
+// metric alongside Go's usual timings.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := e.Run(experiments.Options{Quick: true, Seed: int64(i) + 1})
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + rep.String())
+		}
+	}
+}
+
+// Tables.
+func BenchmarkTable1Breakdown(b *testing.B) { benchExperiment(b, "T1") }
+func BenchmarkTable4IOMMU(b *testing.B)     { benchExperiment(b, "T4") }
+func BenchmarkTable5Fmap(b *testing.B)      { benchExperiment(b, "T5") }
+
+// Figures.
+func BenchmarkFig5ATS(b *testing.B)         { benchExperiment(b, "F5") }
+func BenchmarkFig6LatBW(b *testing.B)       { benchExperiment(b, "F6") }
+func BenchmarkFig7Breakdown(b *testing.B)   { benchExperiment(b, "F7") }
+func BenchmarkFig8Sensitivity(b *testing.B) { benchExperiment(b, "F8") }
+func BenchmarkFig9Scaling(b *testing.B)     { benchExperiment(b, "F9") }
+func BenchmarkFig10Sharing(b *testing.B)    { benchExperiment(b, "F10") }
+func BenchmarkFig11Fairness(b *testing.B)   { benchExperiment(b, "F11") }
+func BenchmarkFig12Revocation(b *testing.B) { benchExperiment(b, "F12") }
+func BenchmarkFig13WiredTiger(b *testing.B) { benchExperiment(b, "F13") }
+func BenchmarkFig14CacheSweep(b *testing.B) { benchExperiment(b, "F14") }
+func BenchmarkFig15BPFKV(b *testing.B)      { benchExperiment(b, "F15") }
+func BenchmarkFig16KVell(b *testing.B)      { benchExperiment(b, "F16") }
+
+// Ablations.
+func BenchmarkAblationIOTLB(b *testing.B)          { benchExperiment(b, "A1") }
+func BenchmarkAblationQueuePerThread(b *testing.B) { benchExperiment(b, "A2") }
+func BenchmarkAblationAppend(b *testing.B)         { benchExperiment(b, "A3") }
+func BenchmarkAblationWriteOverlap(b *testing.B)   { benchExperiment(b, "A4") }
+func BenchmarkExtNonBlockingWrites(b *testing.B)   { benchExperiment(b, "A5") }
+func BenchmarkExtExtentTableWalker(b *testing.B)   { benchExperiment(b, "A6") }
+
+// Supplemental.
+func BenchmarkSupDeviceGenerality(b *testing.B) { benchExperiment(b, "S1") }
+func BenchmarkSupVMSupport(b *testing.B)        { benchExperiment(b, "S2") }
+
+// BenchmarkDirect4KRead measures the headline data point — one 4 KiB
+// BypassD read — end to end through the public API, reporting virtual
+// latency per op.
+func BenchmarkDirect4KRead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys, err := New(1 << 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var virtual Time
+		Run(sys, "bench", func(p *Proc) {
+			pr := sys.NewProcess(RootCred)
+			fd, err := pr.Create(p, "/bench", 0o644)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if err := pr.Fallocate(p, fd, 1<<20); err != nil {
+				b.Error(err)
+				return
+			}
+			_ = pr.Fsync(p, fd)
+			_ = pr.Close(p, fd)
+			io, err := sys.NewFileIO(p, sys.NewProcess(RootCred), EngineBypassD)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			f, _ := io.Open(p, "/bench", false)
+			buf := make([]byte, 4096)
+			_, _ = io.Pread(p, f, buf, 0) // warm
+			start := p.Now()
+			if _, err := io.Pread(p, f, buf, 4096); err != nil {
+				b.Error(err)
+			}
+			virtual = p.Now() - start
+		})
+		sys.Sim.Shutdown()
+		b.ReportMetric(float64(virtual), "virtual-ns/op")
+	}
+}

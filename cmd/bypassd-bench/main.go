@@ -1,0 +1,83 @@
+// Command bypassd-bench regenerates the paper's tables and figures.
+//
+//	bypassd-bench                 # run everything, quick scale
+//	bypassd-bench -full           # paper-scale sweeps (minutes)
+//	bypassd-bench -run F6,F9      # selected experiments
+//	bypassd-bench -list           # show the experiment index
+//	bypassd-bench -o results.md   # also write a markdown report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		runList = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		full    = flag.Bool("full", false, "paper-scale sweeps instead of quick mode")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		out     = flag.String("o", "", "also write the combined report to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var ids []string
+	if *runList == "all" {
+		ids = experiments.IDs()
+	} else {
+		ids = strings.Split(*runList, ",")
+	}
+
+	opts := experiments.Options{Quick: !*full, Seed: *seed}
+	var combined strings.Builder
+	mode := "quick"
+	if *full {
+		mode = "full (paper-scale)"
+	}
+	fmt.Fprintf(&combined, "# BypassD reproduction results (%s mode)\n\n", mode)
+
+	failed := 0
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		e, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+			failed++
+			continue
+		}
+		fmt.Printf("== running %s: %s\n", e.ID, e.Title)
+		start := time.Now()
+		rep, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Printf("%s(wall time %.1fs)\n\n", rep.String(), time.Since(start).Seconds())
+		combined.WriteString(rep.String())
+		combined.WriteString("\n")
+	}
+
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(combined.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *out, err)
+			failed++
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

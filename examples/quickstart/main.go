@@ -1,0 +1,69 @@
+// Quickstart: boot a simulated machine, create a file through the
+// kernel, then read and write it directly from "userspace" through
+// the BypassD interface — and see where the time goes compared with
+// the synchronous kernel path.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	sys, err := bypassd.New(1 << 30) // 1 GiB Optane-class device
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	bypassd.Run(sys, "quickstart", func(p *bypassd.Proc) {
+		// Metadata operations go through the kernel, as always.
+		pr := sys.NewProcess(bypassd.RootCred)
+		fd, err := pr.Create(p, "/hello.dat", 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pr.Fallocate(p, fd, 1<<20); err != nil {
+			log.Fatal(err)
+		}
+		if err := pr.Fsync(p, fd); err != nil {
+			log.Fatal(err)
+		}
+		if err := pr.Close(p, fd); err != nil {
+			log.Fatal(err)
+		}
+
+		// Data operations: compare the kernel path with BypassD.
+		buf := make([]byte, 4096)
+		for _, engine := range []bypassd.Engine{bypassd.EngineSync, bypassd.EngineBypassD} {
+			io, err := sys.NewFileIO(p, sys.NewProcess(bypassd.RootCred), engine)
+			if err != nil {
+				log.Fatal(err)
+			}
+			f, err := io.Open(p, "/hello.dat", true)
+			if err != nil {
+				log.Fatal(err)
+			}
+			copy(buf, []byte("written via "+engine))
+			if _, err := io.Pwrite(p, f, buf, 0); err != nil {
+				log.Fatal(err)
+			}
+
+			start := p.Now()
+			const ops = 100
+			for i := 0; i < ops; i++ {
+				if _, err := io.Pread(p, f, buf, int64(i%256)*4096); err != nil {
+					log.Fatal(err)
+				}
+			}
+			lat := (p.Now() - start) / ops
+			fmt.Printf("%-8s 4KiB random read: %v per op\n", engine, lat)
+			if err := io.Close(p, f); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Println("\nBypassD reads skip the kernel entirely: the IOMMU translates the")
+		fmt.Println("file-offset VBA to device blocks and checks permissions in hardware.")
+	})
+}

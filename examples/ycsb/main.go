@@ -1,0 +1,95 @@
+// YCSB on the WiredTiger-like storage engine (the paper's Fig. 13
+// workload): a B-tree with 512-byte pages over one file, a
+// byte-budgeted page cache, and an I/O path selectable between the
+// synchronous kernel interface, XRP, and BypassD.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/wtiger"
+	"repro/internal/ycsb"
+)
+
+const (
+	keys  = 100_000
+	ops   = 2_000
+	cache = 400 << 10 // ~13% of the store, the paper's cache:data ratio
+)
+
+func main() {
+	fmt.Printf("WiredTiger-like engine, %d keys, YCSB-B (95%% read / 5%% update)\n\n", keys)
+	for _, system := range []string{"sync", "xrp", "bypassd"} {
+		kops, hitRatio, err := run(system)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %7.1f Kops/s (cache hit ratio %.2f)\n", system, kops, hitRatio)
+	}
+	fmt.Println("\nBypassD accelerates every cache miss; XRP only chains of misses.")
+}
+
+func run(system string) (kops, hitRatio float64, err error) {
+	sys, err := bypassd.New(1 << 30)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer sys.Sim.Shutdown()
+
+	var st *wtiger.Store
+	var runErr error
+	bypassd.Run(sys, "ycsb", func(p *bypassd.Proc) {
+		st, runErr = wtiger.Build(p, sys, sys.M.CPU, wtiger.Config{
+			Keys: keys, CacheBytes: cache, Path: "/wt.db",
+		})
+		if runErr != nil {
+			return
+		}
+		pr := sys.NewProcess(bypassd.RootCred)
+		var conn *wtiger.Conn
+		switch system {
+		case "xrp":
+			conn, runErr = st.NewXRPConn(p, pr)
+		default:
+			io, err := sys.NewFileIO(p, pr, core.Engine(system))
+			if err != nil {
+				runErr = err
+				return
+			}
+			conn, runErr = st.NewConn(p, io)
+		}
+		if runErr != nil {
+			return
+		}
+		gen := ycsb.NewGenerator(ycsb.B, keys, 42)
+		// Warm the cache, then measure.
+		for i := 0; i < ops; i++ {
+			if _, _, err := conn.Lookup(p, gen.Next().Key); err != nil {
+				runErr = err
+				return
+			}
+		}
+		start := p.Now()
+		for i := 0; i < ops; i++ {
+			op := gen.Next()
+			var err error
+			switch op.Type {
+			case ycsb.Update:
+				err = conn.Update(p, op.Key, wtiger.ValueOf(op.Key+1))
+			default:
+				_, _, err = conn.Lookup(p, op.Key)
+			}
+			if err != nil {
+				runErr = err
+				return
+			}
+		}
+		elapsed := p.Now() - start
+		kops = float64(ops) / elapsed.Seconds() / 1000
+		hitRatio = st.CacheHitRatio()
+	})
+	return kops, hitRatio, runErr
+}

@@ -1,0 +1,254 @@
+package bpfkv
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/ext4"
+	"repro/internal/sim"
+)
+
+func TestPlanGeometry(t *testing.T) {
+	st, err := Plan(200000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Levels != 6 {
+		t.Fatalf("levels = %d", st.Levels)
+	}
+	if pow(uint64(st.Fanout), 6) < 200000 {
+		t.Fatalf("fanout %d too small", st.Fanout)
+	}
+	if st.levelNodes[0] != 1 {
+		t.Fatalf("root nodes = %d", st.levelNodes[0])
+	}
+	// Near the paper's scale: ~887M objects (31^6) fit a 6-level
+	// index at our node capacity (the paper's 920M squeezes one more
+	// entry per node by omitting the count header).
+	big, err := Plan(880_000_000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Fanout > MaxFan {
+		t.Fatalf("near-paper-scale fanout %d exceeds node capacity %d", big.Fanout, MaxFan)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	if _, err := Plan(0, 6); err == nil {
+		t.Fatal("empty store accepted")
+	}
+	if _, err := Plan(1<<40, 2); err == nil {
+		t.Fatal("impossible geometry accepted")
+	}
+}
+
+func TestLookupsAllModes(t *testing.T) {
+	const objects = 5000
+	for _, mode := range []string{"sync", "bypassd", "xrp", "spdk"} {
+		mode := mode
+		t.Run(mode, func(t *testing.T) {
+			sys, err := core.New(1 << 30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := Plan(objects, 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys.Sim.Spawn("main", func(p *sim.Proc) {
+				pr := sys.NewProcess(ext4.Root)
+				var c *Conn
+				if mode == "spdk" {
+					d, err := sys.SPDK()
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					q, err := d.NewQueue(p)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if err := st.LoadSPDK(p, d, q, "/kv.db"); err != nil {
+						t.Error(err)
+						return
+					}
+					io, err := sys.NewFileIO(p, pr, core.EngineSPDK)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					c, err = st.NewConn(p, io)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+				} else {
+					if err := st.LoadFS(p, sys, "/kv.db"); err != nil {
+						t.Error(err)
+						return
+					}
+					if mode == "xrp" {
+						var err error
+						c, err = st.NewXRPConn(p, pr)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+					} else {
+						io, err := sys.NewFileIO(p, pr, core.Engine(mode))
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						c, err = st.NewConn(p, io)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}
+				for _, k := range []uint64{0, 1, 4999, 2500, 371} {
+					v, ios, err := c.Get(p, k)
+					if err != nil {
+						t.Errorf("get %d: %v", k, err)
+						return
+					}
+					if v != ValueOf(k) {
+						t.Errorf("get %d wrong value", k)
+						return
+					}
+					if ios != st.Levels+1 {
+						t.Errorf("get %d cost %d I/Os, want %d", k, ios, st.Levels+1)
+					}
+				}
+				if _, _, err := c.Get(p, objects+1); err == nil {
+					t.Error("out-of-range key succeeded")
+				}
+			})
+			sys.Sim.Run()
+			sys.Sim.Shutdown()
+		})
+	}
+}
+
+func TestLatencyOrderingPerLookup(t *testing.T) {
+	const objects = 5000
+	lat := map[string]sim.Time{}
+	for _, mode := range []string{"sync", "xrp", "bypassd", "spdk"} {
+		sys, err := core.New(1 << 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := Plan(objects, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mode := mode
+		sys.Sim.Spawn("main", func(p *sim.Proc) {
+			pr := sys.NewProcess(ext4.Root)
+			var c *Conn
+			switch mode {
+			case "spdk":
+				d, _ := sys.SPDK()
+				q, _ := d.NewQueue(p)
+				if err := st.LoadSPDK(p, d, q, "/kv.db"); err != nil {
+					t.Error(err)
+					return
+				}
+				io, _ := sys.NewFileIO(p, pr, core.EngineSPDK)
+				c, _ = st.NewConn(p, io)
+			case "xrp":
+				if err := st.LoadFS(p, sys, "/kv.db"); err != nil {
+					t.Error(err)
+					return
+				}
+				c, _ = st.NewXRPConn(p, pr)
+			default:
+				if err := st.LoadFS(p, sys, "/kv.db"); err != nil {
+					t.Error(err)
+					return
+				}
+				io, _ := sys.NewFileIO(p, pr, core.Engine(mode))
+				c, _ = st.NewConn(p, io)
+			}
+			const ops = 20
+			start := p.Now()
+			for i := 0; i < ops; i++ {
+				if _, _, err := c.Get(p, uint64(i*251)%objects); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			lat[mode] = (p.Now() - start) / ops
+		})
+		sys.Sim.Run()
+		sys.Sim.Shutdown()
+	}
+	t.Logf("7-I/O lookup latency: %v", lat)
+	// Fig. 15 ordering: spdk < bypassd < xrp < sync.
+	if !(lat["spdk"] < lat["bypassd"] && lat["bypassd"] < lat["xrp"] && lat["xrp"] < lat["sync"]) {
+		t.Fatalf("ordering violated: %v", lat)
+	}
+	// BypassD pays ~550ns per I/O over SPDK: ~4µs for 7 I/Os (§6.5).
+	gap := lat["bypassd"] - lat["spdk"]
+	if gap < 3*sim.Microsecond || gap > 5500*sim.Nanosecond {
+		t.Fatalf("bypassd-spdk gap = %v, want ~4µs over 7 I/Os", gap)
+	}
+}
+
+// Property: every key in a small store resolves to its exact value
+// through the arithmetic index.
+func TestAllKeysResolveProperty(t *testing.T) {
+	sys, err := core.New(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const objects = 700 // not a power of the fanout: exercises partial nodes
+	st, err := Plan(objects, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := false
+	sys.Sim.Spawn("main", func(p *sim.Proc) {
+		if err := st.LoadFS(p, sys, "/kv.db"); err != nil {
+			t.Error(err)
+			return
+		}
+		io, _ := sys.NewFileIO(p, sys.NewProcess(ext4.Root), core.EngineSync)
+		c, err := st.NewConn(p, io)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for k := uint64(0); k < objects; k++ {
+			v, _, err := c.Get(p, k)
+			if err != nil || v != ValueOf(k) {
+				t.Errorf("key %d: err=%v", k, err)
+				failed = true
+				return
+			}
+		}
+	})
+	sys.Sim.Run()
+	sys.Sim.Shutdown()
+	if failed {
+		t.Fatal("resolution failed")
+	}
+}
+
+func TestPowQuick(t *testing.T) {
+	f := func(b uint8, e uint8) bool {
+		base, exp := uint64(b%7)+1, int(e%6)
+		want := uint64(1)
+		for i := 0; i < exp; i++ {
+			want *= base
+		}
+		return pow(base, exp) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

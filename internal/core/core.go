@@ -1,0 +1,290 @@
+// Package core assembles the full BypassD system — simulated machine,
+// Optane-class SSD, IOMMU, ext4, kernel, and UserLib — and exposes a
+// uniform per-thread file I/O interface over every system evaluated
+// in the paper: the synchronous kernel path, libaio, io_uring
+// (SQPOLL), SPDK, and BypassD itself.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/ext4"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/spdk"
+	"repro/internal/storage"
+	"repro/internal/userlib"
+)
+
+// Engine identifies one of the compared I/O systems.
+type Engine string
+
+// The engines of the paper's evaluation (§6.3).
+const (
+	EngineSync    Engine = "sync"
+	EngineLibaio  Engine = "libaio"
+	EngineUring   Engine = "io_uring"
+	EngineSPDK    Engine = "spdk"
+	EngineBypassD Engine = "bypassd"
+)
+
+// KernelEngines lists the engines that go through the kernel FS.
+var KernelEngines = []Engine{EngineSync, EngineLibaio, EngineUring}
+
+// AllEngines lists every engine in the paper's comparison order.
+var AllEngines = []Engine{EngineSync, EngineLibaio, EngineUring, EngineSPDK, EngineBypassD}
+
+// System is a booted machine.
+type System struct {
+	Sim *sim.Sim
+	M   *kernel.Machine
+
+	libs map[*kernel.Process]*userlib.Lib
+	spdk *spdk.Driver
+}
+
+// New boots a fresh system with the paper's device and kernel
+// calibration on a new simulation.
+func New(capacityBytes int64) (*System, error) {
+	return NewOn(sim.New(), capacityBytes, nil)
+}
+
+// NewOn boots a system on an existing simulation, optionally from a
+// prebuilt storage image.
+func NewOn(s *sim.Sim, capacityBytes int64, st *storage.Store) (*System, error) {
+	m, err := kernel.NewMachine(s, kernel.DefaultConfig(), device.OptaneP5800X(capacityBytes), st)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Sim: s, M: m, libs: make(map[*kernel.Process]*userlib.Lib)}, nil
+}
+
+// NewProcess creates a process with the given credentials.
+func (sys *System) NewProcess(cred ext4.Cred) *kernel.Process {
+	return sys.M.NewProcess(cred)
+}
+
+// Lib returns the process's UserLib instance, creating it on first
+// use (one shim library per process, shared by its threads).
+func (sys *System) Lib(pr *kernel.Process) *userlib.Lib {
+	l, ok := sys.libs[pr]
+	if !ok {
+		l = userlib.New(pr, userlib.DefaultConfig())
+		sys.libs[pr] = l
+	}
+	return l
+}
+
+// SPDK returns the system's SPDK driver, claiming the device
+// exclusively on first use. It fails if the device is already shared.
+func (sys *System) SPDK() (*spdk.Driver, error) {
+	if sys.spdk == nil {
+		d, err := spdk.Claim(sys.M.CPU, sys.M.Dev, spdk.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		sys.spdk = d
+	}
+	return sys.spdk, nil
+}
+
+// Snapshot commits outstanding metadata and returns a deep copy of
+// the storage image, used to rerun application benchmarks from the
+// same starting state.
+func (sys *System) Snapshot(p *sim.Proc) (*storage.Store, error) {
+	if err := sys.M.FS.Unmount(p); err != nil {
+		return nil, err
+	}
+	return sys.M.Dev.Store().Clone(), nil
+}
+
+// FileIO is the uniform per-thread interface over all engines. A
+// FileIO must only be used from the thread (sim.Proc) it was created
+// for.
+type FileIO interface {
+	Engine() Engine
+	Open(p *sim.Proc, path string, write bool) (int, error)
+	Pread(p *sim.Proc, fd int, buf []byte, off int64) (int, error)
+	Pwrite(p *sim.Proc, fd int, data []byte, off int64) (int, error)
+	Fsync(p *sim.Proc, fd int) error
+	Close(p *sim.Proc, fd int) error
+}
+
+// NewFileIO creates a per-thread handle for the given engine. All
+// threads of a workload should share pr (one process) unless the
+// experiment is about inter-process sharing.
+func (sys *System) NewFileIO(p *sim.Proc, pr *kernel.Process, e Engine) (FileIO, error) {
+	switch e {
+	case EngineSync:
+		return &syncIO{pr: pr}, nil
+	case EngineLibaio:
+		return &aioIO{pr: pr, ctx: pr.NewAioContext()}, nil
+	case EngineUring:
+		return &uringIO{pr: pr, u: pr.NewUring(p)}, nil
+	case EngineBypassD:
+		lib := sys.Lib(pr)
+		th, err := lib.NewThread(p)
+		if err != nil {
+			return nil, err
+		}
+		return &bypassIO{lib: lib, th: th}, nil
+	case EngineSPDK:
+		d, err := sys.SPDK()
+		if err != nil {
+			return nil, err
+		}
+		q, err := d.NewQueue(p)
+		if err != nil {
+			return nil, err
+		}
+		return &spdkIO{d: d, q: q}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown engine %q", e)
+	}
+}
+
+// syncIO: synchronous kernel path.
+type syncIO struct{ pr *kernel.Process }
+
+func (io *syncIO) Engine() Engine { return EngineSync }
+func (io *syncIO) Open(p *sim.Proc, path string, write bool) (int, error) {
+	return io.pr.Open(p, path, write)
+}
+func (io *syncIO) Pread(p *sim.Proc, fd int, buf []byte, off int64) (int, error) {
+	return io.pr.Pread(p, fd, buf, off)
+}
+func (io *syncIO) Pwrite(p *sim.Proc, fd int, data []byte, off int64) (int, error) {
+	return io.pr.Pwrite(p, fd, data, off)
+}
+func (io *syncIO) Fsync(p *sim.Proc, fd int) error { return io.pr.Fsync(p, fd) }
+func (io *syncIO) Close(p *sim.Proc, fd int) error { return io.pr.Close(p, fd) }
+
+// aioIO: libaio at queue depth 1 behind the FileIO interface (deeper
+// queues use kernel.AioContext directly, as KVell does).
+type aioIO struct {
+	pr  *kernel.Process
+	ctx *kernel.AioContext
+}
+
+func (io *aioIO) Engine() Engine { return EngineLibaio }
+func (io *aioIO) Open(p *sim.Proc, path string, write bool) (int, error) {
+	return io.pr.Open(p, path, write)
+}
+func (io *aioIO) rw(p *sim.Proc, fd int, buf []byte, off int64, write bool) (int, error) {
+	if err := io.ctx.Submit(p, []kernel.AioOp{{FD: fd, Write: write, Off: off, Buf: buf}}); err != nil {
+		return 0, err
+	}
+	res := io.ctx.GetEvents(p, 1, 1)
+	if len(res) != 1 {
+		return 0, fmt.Errorf("core: libaio reaped %d events", len(res))
+	}
+	return res[0].N, res[0].Err
+}
+func (io *aioIO) Pread(p *sim.Proc, fd int, buf []byte, off int64) (int, error) {
+	return io.rw(p, fd, buf, off, false)
+}
+func (io *aioIO) Pwrite(p *sim.Proc, fd int, data []byte, off int64) (int, error) {
+	return io.rw(p, fd, data, off, true)
+}
+func (io *aioIO) Fsync(p *sim.Proc, fd int) error { return io.pr.Fsync(p, fd) }
+func (io *aioIO) Close(p *sim.Proc, fd int) error { return io.pr.Close(p, fd) }
+
+// uringIO: io_uring SQPOLL at queue depth 1.
+type uringIO struct {
+	pr *kernel.Process
+	u  *kernel.Uring
+}
+
+func (io *uringIO) Engine() Engine { return EngineUring }
+func (io *uringIO) Open(p *sim.Proc, path string, write bool) (int, error) {
+	return io.pr.Open(p, path, write)
+}
+func (io *uringIO) Pread(p *sim.Proc, fd int, buf []byte, off int64) (int, error) {
+	io.u.SubmitRead(p, fd, buf, off, nil)
+	r := io.u.Wait(p)
+	return r.N, r.Err
+}
+func (io *uringIO) Pwrite(p *sim.Proc, fd int, data []byte, off int64) (int, error) {
+	io.u.SubmitWrite(p, fd, data, off, nil)
+	r := io.u.Wait(p)
+	return r.N, r.Err
+}
+func (io *uringIO) Fsync(p *sim.Proc, fd int) error { return io.pr.Fsync(p, fd) }
+func (io *uringIO) Close(p *sim.Proc, fd int) error { return io.pr.Close(p, fd) }
+
+// bypassIO: UserLib over the BypassD interface.
+type bypassIO struct {
+	lib *userlib.Lib
+	th  *userlib.Thread
+}
+
+func (io *bypassIO) Engine() Engine { return EngineBypassD }
+func (io *bypassIO) Open(p *sim.Proc, path string, write bool) (int, error) {
+	return io.lib.Open(p, path, write)
+}
+func (io *bypassIO) Pread(p *sim.Proc, fd int, buf []byte, off int64) (int, error) {
+	return io.th.Pread(p, fd, buf, off)
+}
+func (io *bypassIO) Pwrite(p *sim.Proc, fd int, data []byte, off int64) (int, error) {
+	return io.th.Pwrite(p, fd, data, off)
+}
+func (io *bypassIO) Fsync(p *sim.Proc, fd int) error { return io.th.Fsync(p, fd) }
+func (io *bypassIO) Close(p *sim.Proc, fd int) error { return io.lib.Close(p, fd) }
+
+// Thread exposes the underlying UserLib thread for breakdown stats.
+func (io *bypassIO) Thread() *userlib.Thread { return io.th }
+
+// BypassThread extracts the UserLib thread from a FileIO when the
+// engine is bypassd (Fig. 7 breakdown instrumentation).
+func BypassThread(io FileIO) (*userlib.Thread, bool) {
+	b, ok := io.(*bypassIO)
+	if !ok {
+		return nil, false
+	}
+	return b.th, true
+}
+
+// spdkIO: raw userspace driver; "files" are registered regions.
+type spdkIO struct {
+	d       *spdk.Driver
+	q       *spdk.Queue
+	regions []spdk.Region
+}
+
+func (io *spdkIO) Engine() Engine { return EngineSPDK }
+
+// Open resolves a region registered with Driver.CreateFile. SPDK has
+// no file system: opening an unregistered name fails.
+func (io *spdkIO) Open(p *sim.Proc, path string, write bool) (int, error) {
+	r, ok := io.d.Lookup(path)
+	if !ok {
+		return 0, fmt.Errorf("core: spdk region %q not registered", path)
+	}
+	io.regions = append(io.regions, r)
+	return len(io.regions) - 1, nil
+}
+
+func (io *spdkIO) region(fd int) (spdk.Region, error) {
+	if fd < 0 || fd >= len(io.regions) {
+		return spdk.Region{}, fmt.Errorf("core: bad spdk fd %d", fd)
+	}
+	return io.regions[fd], nil
+}
+
+func (io *spdkIO) Pread(p *sim.Proc, fd int, buf []byte, off int64) (int, error) {
+	r, err := io.region(fd)
+	if err != nil {
+		return 0, err
+	}
+	return io.q.ReadAt(p, r, buf, off)
+}
+func (io *spdkIO) Pwrite(p *sim.Proc, fd int, data []byte, off int64) (int, error) {
+	r, err := io.region(fd)
+	if err != nil {
+		return 0, err
+	}
+	return io.q.WriteAt(p, r, data, off)
+}
+func (io *spdkIO) Fsync(p *sim.Proc, fd int) error { return io.q.Flush(p) }
+func (io *spdkIO) Close(p *sim.Proc, fd int) error { return nil }

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ext4"
+	"repro/internal/sim"
+)
+
+// TestFreedBlocksConfidentiality exercises the §3.6/§5.3 rule end to
+// end: blocks freed by one user's truncate are zeroed before another
+// user's file can expose them through the direct path.
+func TestFreedBlocksConfidentiality(t *testing.T) {
+	sys, err := New(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Sim.Shutdown()
+	alice := sys.NewProcess(ext4.Cred{UID: 100, GID: 100})
+	bob := sys.NewProcess(ext4.Cred{UID: 200, GID: 200})
+	var checked int
+	sys.Sim.Spawn("app", func(p *sim.Proc) {
+		root := sys.NewProcess(ext4.Root)
+		if err := root.Mkdir(p, "/home", 0o777); err != nil {
+			t.Error(err)
+			return
+		}
+		// Alice writes a secret, truncates it away, and syncs (the
+		// §3.6 sync point after which her blocks become reusable).
+		afd, err := alice.Create(p, "/home/secret", 0o600)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		secret := make([]byte, 64*4096)
+		for i := range secret {
+			secret[i] = 0xAA
+		}
+		if _, err := alice.Pwrite(p, afd, secret, 0); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := alice.Ftruncate(p, afd, 0); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := alice.Fsync(p, afd); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := alice.Close(p, afd); err != nil {
+			t.Error(err)
+			return
+		}
+
+		// Bob's new file reuses those blocks; he scans it through the
+		// BypassD interface.
+		bfd, err := bob.Create(p, "/home/bob", 0o600)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := bob.Fallocate(p, bfd, 64*4096); err != nil {
+			t.Error(err)
+			return
+		}
+		_ = bob.Fsync(p, bfd)
+		_ = bob.Close(p, bfd)
+
+		lib := sys.Lib(bob)
+		th, err := lib.NewThread(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		fd, err := lib.Open(p, "/home/bob", true)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		fs, _ := lib.State(fd)
+		if !fs.Direct() {
+			t.Error("bob's file not direct-mapped")
+			return
+		}
+		buf := make([]byte, 4096)
+		for pg := int64(0); pg < 64; pg++ {
+			if _, err := th.Pread(p, fd, buf, pg*4096); err != nil {
+				t.Error(err)
+				return
+			}
+			for i, b := range buf {
+				if b != 0 {
+					t.Errorf("bob read alice's data: page %d byte %d = %#x", pg, i, b)
+					return
+				}
+			}
+			checked++
+		}
+	})
+	sys.Sim.Run()
+	if checked != 64 {
+		t.Fatalf("checked %d/64 pages", checked)
+	}
+}

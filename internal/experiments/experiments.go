@@ -1,0 +1,108 @@
+// Package experiments contains one harness per table and figure of
+// the paper's evaluation (§6), plus the ablations called out in
+// DESIGN.md. Each experiment boots fresh simulated systems, runs the
+// workload, and renders the same rows/series the paper reports.
+//
+// Absolute numbers come from a calibrated simulator, so they are not
+// expected to equal the paper's testbed measurements; the shapes —
+// who wins, by what factor, where crossovers fall — are the
+// reproduction target (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Options tunes experiment scale.
+type Options struct {
+	// Quick shrinks op counts and sweep points so the full suite
+	// runs in seconds (used by tests); the default (false) runs the
+	// paper-scale sweeps.
+	Quick bool
+	// Seed randomizes workloads deterministically.
+	Seed int64
+}
+
+// Report is an experiment's output.
+type Report struct {
+	ID     string
+	Title  string
+	Tables []*stats.Table
+	Notes  []string
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteString("\n")
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment is a registered harness.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) (*Report, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(id, title string, run func(Options) (*Report, error)) {
+	registry[id] = Experiment{ID: id, Title: title, Run: run}
+}
+
+// All returns every experiment in a stable order.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return orderKey(out[i].ID) < orderKey(out[j].ID) })
+	return out
+}
+
+// orderKey sorts T1 < T2 < T4 < T5 < F5 < ... < F16 < A*.
+func orderKey(id string) string {
+	if len(id) < 2 {
+		return "z" + id
+	}
+	var class string
+	switch id[0] {
+	case 'T':
+		class = "0"
+	case 'F':
+		class = "1"
+	case 'A':
+		class = "2"
+	default:
+		class = "3"
+	}
+	return fmt.Sprintf("%s%03s", class, id[1:])
+}
+
+// ByID resolves an experiment.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// IDs lists registered experiment IDs in run order.
+func IDs() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, e := range all {
+		out[i] = e.ID
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package ext4
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Check verifies file-system invariants, fsck-style. It walks the
+// directory tree from the root, recomputes block usage from every
+// reachable inode's extents (plus metadata and pending frees), and
+// compares against the allocation bitmap. Used by tests, including
+// crash-recovery tests after journal replay.
+func (fs *FS) Check(p *sim.Proc) error {
+	used := make([]bool, fs.sb.BlockCount)
+	for b := int64(0); b < fs.sb.DataStart; b++ {
+		used[b] = true
+	}
+	claim := func(start, count int64, what string) error {
+		for i := int64(0); i < count; i++ {
+			b := start + i
+			if b < fs.sb.DataStart || b >= fs.sb.BlockCount {
+				return fmt.Errorf("%w: %s references block %d outside data area", ErrBadFS, what, b)
+			}
+			if used[b] {
+				return fmt.Errorf("%w: block %d doubly referenced (%s)", ErrBadFS, b, what)
+			}
+			used[b] = true
+		}
+		return nil
+	}
+
+	// Walk the tree.
+	seen := make(map[uint32]bool)
+	var walk func(ino uint32) error
+	walk = func(ino uint32) error {
+		if seen[ino] {
+			return fmt.Errorf("%w: inode %d reached twice", ErrBadFS, ino)
+		}
+		seen[ino] = true
+		in, err := fs.GetInode(p, ino)
+		if err != nil {
+			return fmt.Errorf("inode %d: %w", ino, err)
+		}
+		what := fmt.Sprintf("inode %d", ino)
+		var covered int64
+		for _, e := range in.Extents {
+			if int64(e.FileBlock) != covered {
+				return fmt.Errorf("%w: %s extent gap at file block %d", ErrBadFS, what, covered)
+			}
+			covered += int64(e.Count)
+			if err := claim(int64(e.Start), int64(e.Count), what); err != nil {
+				return err
+			}
+		}
+		if in.Blocks() > covered {
+			return fmt.Errorf("%w: %s size %d exceeds %d allocated blocks", ErrBadFS, what, in.Size, covered)
+		}
+		for _, cb := range in.chainBlocks {
+			if err := claim(int64(cb), 1, what+" chain"); err != nil {
+				return err
+			}
+		}
+		if in.IsDir() {
+			entries, err := fs.ReadDir(p, in)
+			if err != nil {
+				return err
+			}
+			for _, e := range entries {
+				if e.Ino == 0 || e.Ino > uint32(fs.sb.InodeCount) {
+					return fmt.Errorf("%w: dir %d entry %q -> bad inode %d", ErrBadFS, ino, e.Name, e.Ino)
+				}
+				if err := walk(e.Ino); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(RootIno); err != nil {
+		return err
+	}
+
+	// Blocks freed but not yet reusable are still marked in the
+	// bitmap by design.
+	for _, e := range fs.pendingFree {
+		for i := int64(0); i < int64(e.Count); i++ {
+			b := int64(e.Start) + i
+			if used[b] {
+				return fmt.Errorf("%w: pending-free block %d still referenced", ErrBadFS, b)
+			}
+			used[b] = true
+		}
+	}
+
+	for b := int64(0); b < fs.sb.BlockCount; b++ {
+		if used[b] != fs.testBit(b) {
+			return fmt.Errorf("%w: bitmap mismatch at block %d (bitmap=%v, actual=%v)",
+				ErrBadFS, b, fs.testBit(b), used[b])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package ext4
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Extent overflow chain block layout: next(u32) count(u32) then
+// 12-byte extent records.
+const extentsPerChainBlock = (BlockSize - 8) / 12
+
+// chainCount returns the number of overflow blocks needed for n
+// extents.
+func chainCount(n int) int {
+	if n <= InlineExtents {
+		return 0
+	}
+	return (n - InlineExtents + extentsPerChainBlock - 1) / extentsPerChainBlock
+}
+
+// loadExtentChain reads the overflow chain of in from disk. Inline
+// extents were already parsed from the inode itself.
+func (fs *FS) loadExtentChain(p *sim.Proc, in *Inode) error {
+	in.chainBlocks = in.chainBlocks[:0]
+	next := in.extChain
+	buf := make([]byte, BlockSize)
+	for next != 0 {
+		if int64(next) >= fs.sb.BlockCount {
+			return fmt.Errorf("%w: extent chain block %d", ErrBadFS, next)
+		}
+		in.chainBlocks = append(in.chainBlocks, next)
+		if err := fs.bio.ReadBlocks(p, int64(next), 1, buf); err != nil {
+			return err
+		}
+		le := binary.LittleEndian
+		nxt := le.Uint32(buf[0:])
+		cnt := int(le.Uint32(buf[4:]))
+		if cnt > extentsPerChainBlock {
+			return fmt.Errorf("%w: extent chain count %d", ErrBadFS, cnt)
+		}
+		for i := 0; i < cnt; i++ {
+			off := 8 + i*12
+			in.Extents = append(in.Extents, Extent{
+				FileBlock: le.Uint32(buf[off:]),
+				Start:     le.Uint32(buf[off+4:]),
+				Count:     le.Uint32(buf[off+8:]),
+			})
+		}
+		next = nxt
+		if len(in.chainBlocks) > 1<<20 {
+			return fmt.Errorf("%w: extent chain loop", ErrBadFS)
+		}
+	}
+	sort.Slice(in.Extents, func(i, j int) bool { return in.Extents[i].FileBlock < in.Extents[j].FileBlock })
+	return nil
+}
+
+// LookupBlock resolves file block fb to its disk block.
+func (in *Inode) LookupBlock(fb int64) (int64, bool) {
+	i := sort.Search(len(in.Extents), func(i int) bool {
+		e := in.Extents[i]
+		return int64(e.FileBlock)+int64(e.Count) > fb
+	})
+	if i == len(in.Extents) {
+		return 0, false
+	}
+	e := in.Extents[i]
+	if fb < int64(e.FileBlock) {
+		return 0, false
+	}
+	return int64(e.Start) + (fb - int64(e.FileBlock)), true
+}
+
+// appendExtent adds a run of disk blocks at the end of the file's
+// block space, merging with the previous extent when contiguous.
+func (in *Inode) appendExtent(start int64, count int64) {
+	fb := in.AllocatedBlocks()
+	if n := len(in.Extents); n > 0 {
+		last := &in.Extents[n-1]
+		if int64(last.Start)+int64(last.Count) == start &&
+			int64(last.FileBlock)+int64(last.Count) == fb {
+			last.Count += uint32(count)
+			return
+		}
+	}
+	in.Extents = append(in.Extents, Extent{
+		FileBlock: uint32(fb),
+		Start:     uint32(start),
+		Count:     uint32(count),
+	})
+}
+
+// truncateExtents removes coverage beyond keepBlocks file blocks,
+// returning the freed disk extents.
+func (in *Inode) truncateExtents(keepBlocks int64) []Extent {
+	var freed []Extent
+	kept := in.Extents[:0]
+	for _, e := range in.Extents {
+		fb, cnt := int64(e.FileBlock), int64(e.Count)
+		switch {
+		case fb+cnt <= keepBlocks:
+			kept = append(kept, e)
+		case fb >= keepBlocks:
+			freed = append(freed, Extent{Start: e.Start, Count: e.Count})
+		default:
+			keep := keepBlocks - fb
+			kept = append(kept, Extent{FileBlock: e.FileBlock, Start: e.Start, Count: uint32(keep)})
+			freed = append(freed, Extent{Start: e.Start + uint32(keep), Count: uint32(cnt - keep)})
+		}
+	}
+	in.Extents = kept
+	return freed
+}
+
+// BlockMap returns the disk block of every allocated file page, used
+// to build File Table fragments. Index i maps file byte range
+// [i*4096, (i+1)*4096).
+func (in *Inode) BlockMap() []int64 {
+	m := make([]int64, in.AllocatedBlocks())
+	for _, e := range in.Extents {
+		for k := int64(0); k < int64(e.Count); k++ {
+			m[int64(e.FileBlock)+k] = int64(e.Start) + k
+		}
+	}
+	return m
+}

@@ -1,0 +1,346 @@
+// Package iommu models the IOMMU with BypassD's proposed extension:
+// translating Virtual Block Addresses (VBAs) in device requests to
+// device Logical Block Addresses by walking process page tables and
+// interpreting File Table Entries (paper §3.5, §4.3).
+//
+// The latency model follows the paper's measurements (§6.2, Table 4,
+// Fig. 5): a 345 ns PCIe round trip for the ATS exchange, ~183 ns for
+// a page walk that misses the IOTLB, a small per-cacheline cost for
+// requests needing many leaf entries (8 PTEs fit one cacheline), and
+// a 550 ns floor on the total VBA translation delay. Per the paper,
+// FTEs are not cached in the IOTLB by default (no temporal locality;
+// avoids IOTLB pollution) — the CacheFTEs knob exists for the Fig. 8
+// 350 ns ablation point.
+package iommu
+
+import (
+	"fmt"
+
+	"repro/internal/pagetable"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Config holds the IOMMU latency and caching parameters.
+type Config struct {
+	PCIeRoundTrip  sim.Time // ATS request/response bus time
+	WalkLatency    sim.Time // page walk on IOTLB miss
+	IOTLBLookup    sim.Time // IOTLB probe cost
+	CachelineFetch sim.Time // each extra leaf cacheline beyond the first
+	MultiStep      sim.Time // step observed going from 2 to 3 translations (Fig. 5)
+	MinTranslation sim.Time // floor on total VBA translation time (§6.2)
+
+	// CacheFTEs enables caching file table entries in the IOTLB
+	// (off by default, per §4.3).
+	CacheFTEs bool
+	// IOTLBEntries bounds the IOTLB (FIFO eviction).
+	IOTLBEntries int
+
+	// FixedVBALatency, when >= 0, overrides the computed total VBA
+	// translation latency — used by the Fig. 8 sensitivity sweep
+	// exactly like the paper's injected nop() delay. A value of 0
+	// means "no translation delay"; negative means "compute".
+	FixedVBALatency sim.Time
+}
+
+// DefaultConfig returns the calibration from the paper.
+func DefaultConfig() Config {
+	return Config{
+		PCIeRoundTrip:   345 * sim.Nanosecond,
+		WalkLatency:     183 * sim.Nanosecond,
+		IOTLBLookup:     7 * sim.Nanosecond,
+		CachelineFetch:  10 * sim.Nanosecond,
+		MultiStep:       17 * sim.Nanosecond,
+		MinTranslation:  550 * sim.Nanosecond,
+		IOTLBEntries:    256,
+		FixedVBALatency: -1,
+	}
+}
+
+// Request is an ATS translation request from a device.
+type Request struct {
+	PASID uint32
+	DevID uint8 // requesting device, checked against FTE DevID
+	VBA   uint64
+	Bytes int64
+	Write bool
+}
+
+// Status is the outcome of a translation.
+type Status int
+
+// Translation outcomes.
+const (
+	OK Status = iota
+	// Fault: no valid FTE for some page — the file was never mapped,
+	// the mapping was revoked, or the entry is not a file table entry.
+	Fault
+	// Denied: a valid FTE exists but the permission or device-ID
+	// check failed.
+	Denied
+)
+
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case Fault:
+		return "fault"
+	case Denied:
+		return "denied"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Segment is one contiguous run of device sectors in a translation
+// response; the IOMMU coalesces adjacent runs (paper §4.3).
+type Segment struct {
+	Sector  int64
+	Sectors int64
+}
+
+// Result is a completed translation.
+type Result struct {
+	Status   Status
+	Segments []Segment
+	// Latency is the total VBA translation delay the device observes,
+	// including the PCIe round trip. The device serializes this before
+	// media access for reads and overlaps it for writes.
+	Latency sim.Time
+	// Walks is the number of page walks performed (stats/tests).
+	Walks int
+}
+
+type tlbKey struct {
+	pasid uint32
+	vpn   uint64
+}
+
+// IOMMU is the translation agent. All methods are pure state
+// transitions; time is charged by callers using Result.Latency so the
+// device model controls serialization vs. overlap.
+type IOMMU struct {
+	cfg     Config
+	pasids  map[uint32]*pagetable.Table
+	regions []*regionMap // §5.1 extent-table mappings
+
+	iotlb     map[tlbKey]pagetable.Entry
+	tlbFIFO   []tlbKey
+	tlbHits   int64
+	tlbMisses int64
+	faults    int64
+	denials   int64
+}
+
+// New returns an IOMMU with the given configuration.
+func New(cfg Config) *IOMMU {
+	return &IOMMU{
+		cfg:    cfg,
+		pasids: make(map[uint32]*pagetable.Table),
+		iotlb:  make(map[tlbKey]pagetable.Entry),
+	}
+}
+
+// Config returns the active configuration.
+func (u *IOMMU) Config() Config { return u.cfg }
+
+// SetFixedVBALatency adjusts the Fig. 8 override at runtime.
+func (u *IOMMU) SetFixedVBALatency(d sim.Time) { u.cfg.FixedVBALatency = d }
+
+// SetCacheFTEs toggles FTE caching in the IOTLB (ablation; paper
+// §4.3 argues it is unnecessary).
+func (u *IOMMU) SetCacheFTEs(on bool) { u.cfg.CacheFTEs = on }
+
+// RegisterPASID binds a process page table to a PASID, as the kernel
+// driver does when creating user queue pairs (paper §3.3).
+func (u *IOMMU) RegisterPASID(pasid uint32, t *pagetable.Table) {
+	u.pasids[pasid] = t
+}
+
+// UnregisterPASID removes a binding and drops its cached translations
+// and extent-table mappings.
+func (u *IOMMU) UnregisterPASID(pasid uint32) {
+	delete(u.pasids, pasid)
+	u.invalidate(func(k tlbKey) bool { return k.pasid == pasid })
+	kept := u.regions[:0]
+	for _, r := range u.regions {
+		if r.pasid != pasid {
+			kept = append(kept, r)
+		}
+	}
+	u.regions = kept
+}
+
+// InvalidateRange drops cached translations covering [va, va+bytes)
+// for pasid. The kernel issues this when detaching FTEs (revocation).
+func (u *IOMMU) InvalidateRange(pasid uint32, va uint64, bytes int64) {
+	lo := va / pagetable.PageSize
+	hi := (va + uint64(bytes) + pagetable.PageSize - 1) / pagetable.PageSize
+	u.invalidate(func(k tlbKey) bool {
+		return k.pasid == pasid && k.vpn >= lo && k.vpn < hi
+	})
+}
+
+func (u *IOMMU) invalidate(match func(tlbKey) bool) {
+	kept := u.tlbFIFO[:0]
+	for _, k := range u.tlbFIFO {
+		if match(k) {
+			delete(u.iotlb, k)
+		} else {
+			kept = append(kept, k)
+		}
+	}
+	u.tlbFIFO = kept
+}
+
+func (u *IOMMU) tlbInsert(k tlbKey, e pagetable.Entry) {
+	if u.cfg.IOTLBEntries <= 0 {
+		return
+	}
+	if len(u.tlbFIFO) >= u.cfg.IOTLBEntries {
+		old := u.tlbFIFO[0]
+		u.tlbFIFO = u.tlbFIFO[1:]
+		delete(u.iotlb, old)
+	}
+	u.iotlb[k] = e
+	u.tlbFIFO = append(u.tlbFIFO, k)
+}
+
+// Translate resolves a VBA request to device sectors, enforcing the
+// FT, DevID and R/W checks. It never touches media. Extent-table
+// mappings (§5.1 enhancement) take precedence over page-table walks.
+func (u *IOMMU) Translate(req Request) Result {
+	if r := u.regionFor(req.PASID, req.VBA); r != nil {
+		return u.translateRegion(r, req)
+	}
+	table, ok := u.pasids[req.PASID]
+	if !ok {
+		u.faults++
+		return Result{Status: Fault, Latency: u.latency(0, 0, 1)}
+	}
+	if req.Bytes <= 0 {
+		return Result{Status: Fault, Latency: u.latency(0, 0, 0)}
+	}
+
+	firstPage := req.VBA / pagetable.PageSize
+	lastPage := (req.VBA + uint64(req.Bytes) - 1) / pagetable.PageSize
+	nPages := int(lastPage - firstPage + 1)
+
+	var segs []Segment
+	walks, hits := 0, 0
+	remaining := req.Bytes
+	off := req.VBA % pagetable.PageSize
+	if off%storage.SectorSize != 0 || req.Bytes%storage.SectorSize != 0 {
+		return Result{Status: Fault, Latency: u.latency(0, 0, 0)}
+	}
+	for pg := firstPage; pg <= lastPage; pg++ {
+		var entry pagetable.Entry
+		var effRW bool
+		key := tlbKey{req.PASID, pg}
+		if cached, ok := u.iotlb[key]; u.cfg.CacheFTEs && ok {
+			u.tlbHits++
+			hits++
+			entry = cached
+			effRW = cached.RW()
+		} else {
+			u.tlbMisses++
+			walks++
+			r := table.Walk(pg * pagetable.PageSize)
+			if !r.Found || !r.Entry.FT() {
+				u.faults++
+				return Result{Status: Fault, Latency: u.latency(walks, hits, nPages), Walks: walks}
+			}
+			entry = r.Entry
+			effRW = r.EffRW
+			if u.cfg.CacheFTEs {
+				// Encode the effective permission into the cached copy.
+				c := entry
+				if !effRW {
+					c &^= pagetable.FlagRW
+				}
+				u.tlbInsert(key, c)
+			}
+		}
+		if entry.DevID() != req.DevID {
+			u.denials++
+			return Result{Status: Denied, Latency: u.latency(walks, hits, nPages), Walks: walks}
+		}
+		if req.Write && !effRW {
+			u.denials++
+			return Result{Status: Denied, Latency: u.latency(walks, hits, nPages), Walks: walks}
+		}
+
+		inPage := int64(pagetable.PageSize) - int64(off)
+		if inPage > remaining {
+			inPage = remaining
+		}
+		sector := entry.LBA() + int64(off)/storage.SectorSize
+		sectors := inPage / storage.SectorSize
+		if n := len(segs); n > 0 && segs[n-1].Sector+segs[n-1].Sectors == sector {
+			segs[n-1].Sectors += sectors // coalesce
+		} else {
+			segs = append(segs, Segment{Sector: sector, Sectors: sectors})
+		}
+		remaining -= inPage
+		off = 0
+	}
+	return Result{
+		Status:   OK,
+		Segments: segs,
+		Latency:  u.latency(walks, hits, nPages),
+		Walks:    walks,
+	}
+}
+
+// latency computes the total VBA translation delay for a request that
+// performed the given number of walks and IOTLB hits across nPages
+// page translations.
+func (u *IOMMU) latency(walks, hits, nPages int) sim.Time {
+	if u.cfg.FixedVBALatency >= 0 {
+		return u.cfg.FixedVBALatency
+	}
+	d := u.cfg.PCIeRoundTrip
+	if hits > 0 {
+		d += u.cfg.IOTLBLookup
+	}
+	if walks > 0 {
+		d += u.cfg.WalkLatency
+		if nPages >= 3 {
+			d += u.cfg.MultiStep
+		}
+		// Eight leaf entries share a cacheline; each extra line costs
+		// one more fetch (Fig. 5 flattens because of this).
+		lines := (walks + 7) / 8
+		if lines > 1 {
+			d += sim.Time(lines-1) * u.cfg.CachelineFetch
+		}
+		if d < u.cfg.MinTranslation {
+			d = u.cfg.MinTranslation
+		}
+	}
+	return d
+}
+
+// WalkOverhead reports the IOMMU-internal translation cost (excluding
+// the PCIe round trip and the floor) for a single ATS request that
+// needs n page translations — the quantity plotted in Fig. 5.
+func (u *IOMMU) WalkOverhead(n int) sim.Time {
+	if n <= 0 {
+		return 0
+	}
+	d := u.cfg.WalkLatency
+	if n >= 3 {
+		d += u.cfg.MultiStep
+	}
+	if lines := (n + 7) / 8; lines > 1 {
+		d += sim.Time(lines-1) * u.cfg.CachelineFetch
+	}
+	return d
+}
+
+// TLBStats reports IOTLB hits and misses.
+func (u *IOMMU) TLBStats() (hits, misses int64) { return u.tlbHits, u.tlbMisses }
+
+// FaultStats reports translation faults and permission denials.
+func (u *IOMMU) FaultStats() (faults, denials int64) { return u.faults, u.denials }

@@ -1,0 +1,234 @@
+package kernel
+
+import (
+	"repro/internal/ext4"
+	"repro/internal/nvme"
+	"repro/internal/pagetable"
+	"repro/internal/sim"
+)
+
+// The BypassD kernel module: creates user-mapped queue pairs bound to
+// the process PASID, registers DMA buffers, services fmap(), and
+// implements revocation (paper §3.3, §3.6, §4.1).
+
+// CreateUserQueue allocates a device queue pair, links it to the
+// process's PASID, and "maps" it into userspace (the returned pair is
+// used by UserLib without further kernel involvement).
+func (pr *Process) CreateUserQueue(p *sim.Proc, depth int) (*nvme.QueuePair, error) {
+	pr.enter(p)
+	defer pr.exit(p)
+	pr.M.CPU.Compute(p, 2*sim.Microsecond) // one-time setup cost
+	return pr.M.Dev.CreateQueue(pr.PASID, depth)
+}
+
+// AllocDMABuffer returns a pinned buffer UserLib uses for device
+// transfers. Allocation happens once at library initialization, like
+// SPDK's hugepage pool (paper §3.3).
+func (pr *Process) AllocDMABuffer(p *sim.Proc, size int) []byte {
+	pr.enter(p)
+	defer pr.exit(p)
+	pr.M.CPU.Compute(p, 1*sim.Microsecond)
+	return make([]byte, size)
+}
+
+// OpenBypass opens path intending BypassD-interface access: the open
+// is forwarded to the kernel and an fmap() follows (paper Table 3).
+// If the kernel declines the fmap (VBA 0), the descriptor remains
+// usable through the kernel interface — co-existence principle 4.
+func (pr *Process) OpenBypass(p *sim.Proc, path string, write bool) (fd int, base uint64, err error) {
+	path, err = pr.resolve(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	pr.enter(p)
+	m := pr.M
+	m.CPU.Compute(p, m.Cfg.OpenCost)
+	in, err := m.FS.Lookup(p, path, pr.Cred)
+	if err != nil {
+		pr.exit(p)
+		return 0, 0, err
+	}
+	if in.IsDir() {
+		pr.exit(p)
+		return 0, 0, ext4.ErrIsDir
+	}
+	if err := m.FS.Access(in, pr.Cred, write); err != nil {
+		pr.exit(p)
+		return 0, 0, err
+	}
+	fd = pr.installFD(in, path, write)
+	pr.exit(p)
+
+	base, err = pr.Fmap(p, fd)
+	if err != nil {
+		return 0, 0, err
+	}
+	if base == 0 {
+		// Kernel declined direct access: fall back to the kernel
+		// interface on the same descriptor.
+		in.KernelOpens++
+	}
+	return fd, base, nil
+}
+
+// Fmap maps the file's blocks into the process address space and
+// attaches the shared file-table fragments (paper §3.2, §4.1). It
+// returns the starting VBA, or 0 if the file is not eligible for
+// direct access (revoked, or concurrently open through the kernel
+// interface).
+func (pr *Process) Fmap(p *sim.Proc, fd int) (uint64, error) {
+	f, err := pr.fd(fd)
+	if err != nil {
+		return 0, err
+	}
+	m := pr.M
+	pr.enter(p)
+	defer pr.exit(p)
+
+	in := f.Ino
+	if m.revoked[in.Ino] || in.KernelOpens > 0 {
+		return 0, nil // VBA 0: use the kernel interface (paper §3.6)
+	}
+	if f.Bypass != nil {
+		return f.Bypass.Base, nil // already mapped
+	}
+
+	ft, built := m.FS.FileTable(in)
+	if built {
+		// Cold fmap: population of the file table entries dominates
+		// (Table 5 fit: ~5 ns per PTE + extent-tree setup).
+		m.CPU.Compute(p, m.Cfg.FmapColdBase+sim.Time(ft.PTEs())*m.Cfg.FmapPerPTE)
+	}
+	span := ft.SpanBytes() // bytes actually covered by fragments
+	// Reserve virtual headroom so in-place growth can attach new
+	// fragments without moving the mapping (paper §4.1).
+	reserved := 4 * span
+	if reserved < 64<<20 {
+		reserved = 64 << 20
+	}
+	base := pr.allocVBA(reserved)
+	updates, err := ft.Attach(pr.Table, base, f.Writable)
+	if err != nil {
+		return 0, err
+	}
+	// Warm fmap: a handful of pointer updates (Table 5 fit).
+	m.CPU.Compute(p, m.Cfg.FmapBase+sim.Time(updates)*m.Cfg.FmapPerPMD)
+
+	att := &Attachment{Proc: pr, Ino: in.Ino, Base: base, Span: span, Reserved: reserved, Writable: f.Writable}
+	f.Bypass = att
+	m.attachments[in.Ino] = append(m.attachments[in.Ino], att)
+	in.BypassOpens++
+	return base, nil
+}
+
+// detachRegion removes every fragment pointer in [base, base+span),
+// working even when the shared file table itself has been evicted.
+func detachRegion(t *pagetable.Table, base, span uint64) {
+	for off := uint64(0); off < span; off += pagetable.PMDSpan {
+		t.DetachPMD(base + off)
+	}
+}
+
+// funmap detaches one attachment (close path).
+func (m *Machine) funmap(att *Attachment) {
+	if !att.Revoked {
+		if att.Region {
+			m.regionDetach(att)
+		} else {
+			detachRegion(att.Proc.Table, att.Base, att.Span)
+			m.MMU.InvalidateRange(att.Proc.PASID, att.Base, int64(att.Span))
+		}
+	}
+	m.removeAttachment(att)
+}
+
+func (m *Machine) removeAttachment(att *Attachment) {
+	list := m.attachments[att.Ino]
+	for i, a := range list {
+		if a == att {
+			m.attachments[att.Ino] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(m.attachments[att.Ino]) == 0 {
+		delete(m.attachments, att.Ino)
+	}
+}
+
+// Revoke withdraws every process's direct access to the file: detach
+// the FTEs and invalidate IOMMU state. Subsequent userspace I/O
+// faults; UserLib re-issues fmap(), receives VBA 0, and falls back to
+// the kernel interface (paper §3.6).
+func (m *Machine) Revoke(in *ext4.Inode) {
+	ino := in.Ino
+	m.revoked[ino] = true
+	for _, att := range m.attachments[ino] {
+		if att.Region {
+			m.regionDetach(att)
+		} else {
+			detachRegion(att.Proc.Table, att.Base, att.Span)
+			m.MMU.InvalidateRange(att.Proc.PASID, att.Base, int64(att.Span))
+		}
+		att.Revoked = true
+	}
+	delete(m.attachments, ino)
+}
+
+// syncGrowth attaches newly created file-table fragments into every
+// process that has the file mapped, extending the mapping in place.
+// Growth within an existing 2 MiB fragment is already visible through
+// the shared fragment; only fragment-boundary crossings need pointer
+// updates. If a mapping's reserved region is exhausted, direct access
+// is revoked and the process falls back to the kernel interface.
+func (m *Machine) syncGrowth(in *ext4.Inode) {
+	var ft *pagetable.FileTable
+	var newSpan uint64
+	var frags []*pagetable.Node
+	if in.HasFileTable() {
+		ft, _ = m.FS.FileTable(in)
+		newSpan = ft.SpanBytes()
+		frags = ft.Fragments()
+	}
+	var exhausted bool
+	for _, att := range m.attachments[in.Ino] {
+		if att.Region {
+			m.regionSync(in, att)
+			continue
+		}
+		if ft == nil || newSpan <= att.Span {
+			continue
+		}
+		if newSpan > att.Reserved {
+			exhausted = true
+			continue
+		}
+		for i := int(att.Span / pagetable.PMDSpan); i < len(frags); i++ {
+			va := att.Base + uint64(i)*pagetable.PMDSpan
+			if _, err := att.Proc.Table.AttachPMD(va, frags[i], att.Writable); err != nil {
+				exhausted = true
+				break
+			}
+		}
+		att.Span = newSpan
+	}
+	if exhausted {
+		m.Revoke(in)
+	}
+}
+
+// invalidateMappings drops IOMMU translations for a file whose block
+// layout changed (truncate); page-table FTEs were already updated via
+// the shared fragments, while extent-table mappings re-register.
+func (m *Machine) invalidateMappings(in *ext4.Inode) {
+	for _, att := range m.attachments[in.Ino] {
+		if att.Region {
+			m.regionSync(in, att)
+			continue
+		}
+		m.MMU.InvalidateRange(att.Proc.PASID, att.Base, int64(att.Span))
+	}
+}
+
+// Revoked reports whether direct access to the inode is currently
+// revoked (tests, Fig. 12 harness).
+func (m *Machine) Revoked(ino uint32) bool { return m.revoked[ino] }

@@ -1,0 +1,269 @@
+// Package kernel models the operating system of the BypassD
+// reproduction: processes with PASIDs and page tables, the VFS/ext4
+// syscall layer with the per-layer costs measured in the paper's
+// Table 1, the block layer and NVMe driver, the standard I/O paths
+// (synchronous, libaio, io_uring with SQPOLL), and the BypassD kernel
+// module (user queue pairs, DMA buffers, fmap(), revocation).
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/ext4"
+	"repro/internal/iommu"
+	"repro/internal/nvme"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Config carries the software-stack cost model. Defaults come from
+// Table 1 and the Table 5 fits documented in DESIGN.md.
+type Config struct {
+	Cores int
+
+	SyscallEnter sim.Time // user -> kernel mode switch
+	SyscallExit  sim.Time // kernel -> user mode switch
+	VFSCost      sim.Time // VFS + ext4 data path (4 KiB)
+	VFSPerPage   sim.Time // extra per additional 4 KiB page
+	BlockLayer   sim.Time // bio assembly, scheduling
+	DriverSubmit sim.Time // NVMe driver submission
+
+	OpenCost sim.Time // in-kernel cost of open() (Table 5 row 1)
+
+	FmapBase     sim.Time // warm fmap fixed cost
+	FmapPerPMD   sim.Time // per fragment pointer update (warm)
+	FmapColdBase sim.Time // extent-tree population on cold fmap
+	FmapPerPTE   sim.Time // per file-table entry built (cold)
+
+	UringVFSCost sim.Time // kernel work per io_uring op (no switches)
+	AioReap      sim.Time // per-event io_getevents cost
+	XRPBpfExec   sim.Time // one BPF hook execution in the driver
+}
+
+// DefaultConfig returns the paper calibration.
+func DefaultConfig() Config {
+	return Config{
+		Cores:        24,
+		SyscallEnter: 160 * sim.Nanosecond,
+		SyscallExit:  100 * sim.Nanosecond,
+		VFSCost:      2810 * sim.Nanosecond,
+		VFSPerPage:   15 * sim.Nanosecond,
+		BlockLayer:   540 * sim.Nanosecond,
+		DriverSubmit: 220 * sim.Nanosecond,
+		OpenCost:     1020 * sim.Nanosecond,
+		FmapBase:     390 * sim.Nanosecond,
+		FmapPerPMD:   31 * sim.Nanosecond,
+		FmapColdBase: 700 * sim.Nanosecond,
+		FmapPerPTE:   5 * sim.Nanosecond,
+		UringVFSCost: 2240 * sim.Nanosecond,
+		AioReap:      100 * sim.Nanosecond,
+		XRPBpfExec:   500 * sim.Nanosecond,
+	}
+}
+
+// Machine is a booted system: device + IOMMU + mounted file system.
+type Machine struct {
+	Sim *sim.Sim
+	CPU *sim.CPUSet
+	Dev *device.SSD
+	MMU *iommu.IOMMU
+	FS  *ext4.FS
+	Cfg Config
+
+	kq *kernelQueue
+
+	nextPID   int
+	nextPASID uint32
+
+	// attachments tracks every fmap()ed (process, region) per inode
+	// so the kernel can revoke direct access (paper §3.6).
+	attachments map[uint32][]*Attachment
+	revoked     map[uint32]bool
+
+	// writeLocks models ext4's per-inode i_rwsem, held exclusively
+	// during direct-I/O write submission. Concurrent writers to one
+	// file serialize here — the bottleneck the paper observes for
+	// KVell on YCSB A, which BypassD sidesteps by writing from
+	// userspace (§6.5).
+	writeLocks map[uint32]*sim.Resource
+}
+
+// Attachment is one process's fmap()ed view of a file.
+type Attachment struct {
+	Proc     *Process
+	Ino      uint32
+	Base     uint64
+	Span     uint64 // bytes currently attached
+	Reserved uint64 // virtual region reserved for in-place growth
+	Writable bool
+	Revoked  bool
+	// Region marks a §5.1 extent-table mapping (FmapRegion) rather
+	// than page-table FTEs.
+	Region bool
+}
+
+// NewMachine boots a machine. If st is nil a fresh store is created
+// and formatted; otherwise the existing image is mounted.
+func NewMachine(s *sim.Sim, cfg Config, dcfg device.Config, st *storage.Store) (*Machine, error) {
+	fresh := st == nil
+	if fresh {
+		st = storage.NewBytes(dcfg.CapacityBytes)
+	}
+	m := &Machine{
+		Sim:         s,
+		CPU:         s.NewCPUSet(cfg.Cores),
+		Cfg:         cfg,
+		attachments: make(map[uint32][]*Attachment),
+		revoked:     make(map[uint32]bool),
+		writeLocks:  make(map[uint32]*sim.Resource),
+		nextPASID:   100,
+	}
+	m.Dev = device.NewWithStore(s, dcfg, st)
+	m.MMU = iommu.New(iommu.DefaultConfig())
+	m.Dev.AttachIOMMU(m.MMU)
+
+	if fresh {
+		if err := ext4.Mkfs(&ext4.Direct{St: st}, ext4.DefaultOptions(dcfg.CapacityBytes, dcfg.DevID)); err != nil {
+			return nil, err
+		}
+	}
+	// Boot-time mount goes through the untimed path; runtime I/O then
+	// flows through the timed kernel BlockIO.
+	fs, err := ext4.Mount(nil, &ext4.Direct{St: st}, dcfg.DevID, s.Now)
+	if err != nil {
+		return nil, err
+	}
+	m.FS = fs
+
+	q, err := m.Dev.CreateQueue(0, 4096)
+	if err != nil {
+		return nil, err
+	}
+	m.kq = &kernelQueue{m: m, q: q, waiters: make(map[uint16]*waiter)}
+	fs.SetBlockIO(&kernelBIO{m: m})
+	return m, nil
+}
+
+// writeLock returns the inode's i_rwsem equivalent.
+func (m *Machine) writeLock(ino uint32) *sim.Resource {
+	l, ok := m.writeLocks[ino]
+	if !ok {
+		l = m.Sim.NewResource(fmt.Sprintf("i_rwsem-%d", ino), 1)
+		m.writeLocks[ino] = l
+	}
+	return l
+}
+
+// waiter tracks one in-flight kernel command.
+type waiter struct {
+	done   bool
+	status nvme.Status
+}
+
+// kernelQueue multiplexes kernel-initiated commands over one device
+// queue pair. Threads waiting for completions sleep (interrupt model)
+// rather than burning CPU.
+type kernelQueue struct {
+	m       *Machine
+	q       *nvme.QueuePair
+	waiters map[uint16]*waiter
+	nextCID uint16
+}
+
+func (k *kernelQueue) allocCID() uint16 {
+	for {
+		k.nextCID++
+		if _, busy := k.waiters[k.nextCID]; !busy {
+			return k.nextCID
+		}
+	}
+}
+
+// drain moves posted completions into their waiters.
+func (k *kernelQueue) drain() {
+	for {
+		c, ok := k.q.PopCQE()
+		if !ok {
+			return
+		}
+		if w := k.waiters[c.CID]; w != nil {
+			w.done = true
+			w.status = c.Status
+		}
+	}
+}
+
+// submitAndWait issues one command and blocks (interrupt-style) until
+// it completes.
+func (k *kernelQueue) submitAndWait(p *sim.Proc, e nvme.SQE) nvme.Status {
+	cid := k.allocCID()
+	e.CID = cid
+	w := &waiter{}
+	k.waiters[cid] = w
+	if err := k.q.Submit(e); err != nil {
+		delete(k.waiters, cid)
+		return nvme.StatusInternalError
+	}
+	for !w.done {
+		k.drain()
+		if w.done {
+			break
+		}
+		k.q.CQReady.Wait(p)
+	}
+	delete(k.waiters, cid)
+	return w.status
+}
+
+// kernelBIO is the timed ext4.BlockIO: it charges the block layer and
+// driver costs, then performs the transfer through the device.
+type kernelBIO struct {
+	m *Machine
+}
+
+var _ ext4.BlockIO = (*kernelBIO)(nil)
+
+func (b *kernelBIO) charge(p *sim.Proc) {
+	b.m.CPU.Compute(p, b.m.Cfg.BlockLayer+b.m.Cfg.DriverSubmit)
+}
+
+func (b *kernelBIO) io(p *sim.Proc, op nvme.Opcode, blk, n int64, buf []byte) error {
+	if p == nil {
+		panic("kernel: timed block I/O without a proc")
+	}
+	b.charge(p)
+	st := b.m.kq.submitAndWait(p, nvme.SQE{
+		Opcode:  op,
+		SLBA:    blk * ext4.SectorsPerBlock,
+		Sectors: n * ext4.SectorsPerBlock,
+		Buf:     buf,
+	})
+	if !st.OK() {
+		return fmt.Errorf("kernel: block %s at %d: %v", op, blk, st)
+	}
+	return nil
+}
+
+func (b *kernelBIO) ReadBlocks(p *sim.Proc, blk, n int64, buf []byte) error {
+	return b.io(p, nvme.OpRead, blk, n, buf[:n*ext4.BlockSize])
+}
+
+func (b *kernelBIO) WriteBlocks(p *sim.Proc, blk, n int64, buf []byte) error {
+	return b.io(p, nvme.OpWrite, blk, n, buf[:n*ext4.BlockSize])
+}
+
+func (b *kernelBIO) ZeroBlocks(p *sim.Proc, blk, n int64) error {
+	return b.io(p, nvme.OpWriteZeroes, blk, n, nil)
+}
+
+func (b *kernelBIO) Flush(p *sim.Proc) error {
+	if p == nil {
+		panic("kernel: timed flush without a proc")
+	}
+	b.m.CPU.Compute(p, b.m.Cfg.DriverSubmit)
+	if st := b.m.kq.submitAndWait(p, nvme.SQE{Opcode: nvme.OpFlush}); !st.OK() {
+		return fmt.Errorf("kernel: flush: %v", st)
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package kernel
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ext4"
+	"repro/internal/sim"
+)
+
+// Mount namespaces (paper §5.2 "Containers"): BypassD supports
+// sharing an SSD between containers with no extra mechanism because
+// access control is the kernel's job. A containerized process gets an
+// isolated view of the file system — its paths resolve under a
+// per-process root — and since fmap() only maps files the kernel let
+// the process open, the hardware enforcement composes for free.
+
+// NewContainerProcess creates a process whose file-system view is
+// confined under root (which is created if missing). The credential
+// applies inside the container as usual.
+func (m *Machine) NewContainerProcess(p *sim.Proc, cred ext4.Cred, root string) (*Process, error) {
+	if !strings.HasPrefix(root, "/") || root == "/" {
+		return nil, fmt.Errorf("kernel: container root %q must be a non-root absolute path", root)
+	}
+	root = strings.TrimSuffix(root, "/")
+	// mkdir -p the container root.
+	partial := ""
+	for _, c := range strings.Split(strings.TrimPrefix(root, "/"), "/") {
+		partial += "/" + c
+		if _, err := m.FS.Lookup(p, partial, ext4.Root); err != nil {
+			if _, err := m.FS.Mkdir(p, partial, 0o755, ext4.Root); err != nil {
+				return nil, err
+			}
+		}
+	}
+	pr := m.NewProcess(cred)
+	pr.Root = root
+	return pr, nil
+}
+
+// resolve maps a process-visible path to the global namespace. Path
+// normalization in the FS layer strips ".." segments before they are
+// joined, so a container cannot climb out of its root.
+func (pr *Process) resolve(path string) (string, error) {
+	if !strings.HasPrefix(path, "/") {
+		return "", fmt.Errorf("kernel: path %q not absolute", path)
+	}
+	if pr.Root == "" {
+		return path, nil
+	}
+	// Normalize the container-relative path first so ".." cannot
+	// escape the root.
+	var comps []string
+	for _, c := range strings.Split(path, "/") {
+		switch c {
+		case "", ".":
+		case "..":
+			if len(comps) > 0 {
+				comps = comps[:len(comps)-1]
+			}
+		default:
+			comps = append(comps, c)
+		}
+	}
+	return pr.Root + "/" + strings.Join(comps, "/"), nil
+}

@@ -1,0 +1,229 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/ext4"
+	"repro/internal/pagetable"
+	"repro/internal/sim"
+)
+
+// Process is a simulated OS process: credentials, a PASID-bound page
+// table, and a descriptor table. Threads of the process are sim.Procs
+// that invoke syscalls with the process as context.
+type Process struct {
+	M     *Machine
+	PID   int
+	PASID uint32
+	Cred  ext4.Cred
+	Table *pagetable.Table
+	// Root confines the process's file-system view to a subtree
+	// (mount namespace, paper §5.2); empty = host namespace.
+	Root string
+
+	nextVBA uint64
+	fds     map[int]*FD
+	nextFD  int
+}
+
+// FD is an open file description.
+type FD struct {
+	Ino      *ext4.Inode
+	Path     string
+	Writable bool
+	Offset   int64
+
+	// Bypass is non-nil while the file is fmap()ed for BypassD-
+	// interface access.
+	Bypass *Attachment
+
+	// timesDirty defers timestamp updates to close/fsync for
+	// BypassD-interface files (paper §4.4).
+	timesDirty bool
+}
+
+// NewProcess creates a process and registers its address space with
+// the IOMMU.
+func (m *Machine) NewProcess(cred ext4.Cred) *Process {
+	m.nextPID++
+	m.nextPASID++
+	pr := &Process{
+		M:       m,
+		PID:     m.nextPID,
+		PASID:   m.nextPASID,
+		Cred:    cred,
+		Table:   pagetable.New(),
+		nextVBA: 0x5000_0000_0000, // fmap region base, PMD aligned
+		fds:     make(map[int]*FD),
+		nextFD:  3,
+	}
+	m.MMU.RegisterPASID(pr.PASID, pr.Table)
+	return pr
+}
+
+// Exit closes all descriptors and unregisters the address space.
+func (pr *Process) Exit(p *sim.Proc) {
+	for fd := range pr.fds {
+		_ = pr.Close(p, fd)
+	}
+	pr.M.MMU.UnregisterPASID(pr.PASID)
+}
+
+// enter/exit charge the privilege-mode switches around a syscall.
+func (pr *Process) enter(p *sim.Proc) { pr.M.CPU.Compute(p, pr.M.Cfg.SyscallEnter) }
+func (pr *Process) exit(p *sim.Proc)  { pr.M.CPU.Compute(p, pr.M.Cfg.SyscallExit) }
+
+// allocVBA reserves a PMD-aligned virtual region of span bytes.
+func (pr *Process) allocVBA(span uint64) uint64 {
+	base := pr.nextVBA
+	span = (span + pagetable.PMDSpan - 1) &^ uint64(pagetable.PMDSpan-1)
+	if span == 0 {
+		span = pagetable.PMDSpan
+	}
+	pr.nextVBA += span
+	return base
+}
+
+// fd resolves a descriptor number.
+func (pr *Process) fd(fd int) (*FD, error) {
+	f, ok := pr.fds[fd]
+	if !ok {
+		return nil, fmt.Errorf("kernel: bad file descriptor %d", fd)
+	}
+	return f, nil
+}
+
+// FDInfo exposes the descriptor for UserLib (which shims the libc
+// layer and needs the inode's size and the mapping base).
+func (pr *Process) FDInfo(fd int) (*FD, error) { return pr.fd(fd) }
+
+// Open opens path through the kernel interface. If another process
+// holds the file fmap()ed for direct access, that access is revoked
+// (paper §4.5.2: no concurrent BypassD- and kernel-interface access).
+func (pr *Process) Open(p *sim.Proc, path string, write bool) (int, error) {
+	path, err := pr.resolve(path)
+	if err != nil {
+		return 0, err
+	}
+	pr.enter(p)
+	defer pr.exit(p)
+	fd, _, err := pr.openLocked(p, path, write, false)
+	return fd, err
+}
+
+// Create creates (or truncates) a file and opens it kernel-interface.
+func (pr *Process) Create(p *sim.Proc, path string, perm uint16) (int, error) {
+	path, err := pr.resolve(path)
+	if err != nil {
+		return 0, err
+	}
+	pr.enter(p)
+	defer pr.exit(p)
+	m := pr.M
+	m.CPU.Compute(p, m.Cfg.OpenCost)
+	in, err := m.FS.Create(p, path, perm, pr.Cred)
+	if err != nil {
+		if err == ext4.ErrExist {
+			fd, _, err2 := pr.openLocked(p, path, true, true)
+			if err2 != nil {
+				return 0, err2
+			}
+			f, _ := pr.fd(fd)
+			if terr := m.FS.Truncate(p, f.Ino, 0); terr != nil {
+				return 0, terr
+			}
+			return fd, nil
+		}
+		return 0, err
+	}
+	in.KernelOpens++
+	return pr.installFD(in, path, true), nil
+}
+
+// openLocked is the shared open path; charged is true when the caller
+// already charged OpenCost.
+func (pr *Process) openLocked(p *sim.Proc, path string, write, charged bool) (int, *ext4.Inode, error) {
+	m := pr.M
+	if !charged {
+		m.CPU.Compute(p, m.Cfg.OpenCost)
+	}
+	in, err := m.FS.Lookup(p, path, pr.Cred)
+	if err != nil {
+		return 0, nil, err
+	}
+	if in.IsDir() {
+		return 0, nil, ext4.ErrIsDir
+	}
+	if err := m.FS.Access(in, pr.Cred, write); err != nil {
+		return 0, nil, err
+	}
+	in.KernelOpens++
+	// Kernel-interface access while others hold the file via the
+	// BypassD interface: revoke their direct access.
+	if in.BypassOpens > 0 {
+		m.Revoke(in)
+	}
+	return pr.installFD(in, path, write), in, nil
+}
+
+func (pr *Process) installFD(in *ext4.Inode, path string, write bool) int {
+	fd := pr.nextFD
+	pr.nextFD++
+	pr.fds[fd] = &FD{Ino: in, Path: path, Writable: write}
+	return fd
+}
+
+// Close releases a descriptor, detaching any BypassD mapping and
+// applying deferred timestamp updates (paper §4.4: timestamps update
+// at close/fsync).
+func (pr *Process) Close(p *sim.Proc, fd int) error {
+	f, err := pr.fd(fd)
+	if err != nil {
+		return err
+	}
+	pr.enter(p)
+	defer pr.exit(p)
+	m := pr.M
+	if f.Bypass != nil {
+		m.funmap(f.Bypass)
+		f.Bypass = nil
+		f.Ino.BypassOpens--
+	} else {
+		f.Ino.KernelOpens--
+	}
+	if f.timesDirty {
+		f.Ino.Mtime = m.Sim.Now()
+		// Commit lazily: the dirty inode flushes at the next sync
+		// point, as mmap()ed files do.
+	}
+	if f.Ino.BypassOpens == 0 && f.Ino.KernelOpens == 0 {
+		delete(m.revoked, f.Ino.Ino)
+	}
+	delete(pr.fds, fd)
+	return nil
+}
+
+// Unlink removes a file.
+func (pr *Process) Unlink(p *sim.Proc, path string) error {
+	path, err := pr.resolve(path)
+	if err != nil {
+		return err
+	}
+	pr.enter(p)
+	defer pr.exit(p)
+	pr.M.CPU.Compute(p, pr.M.Cfg.OpenCost)
+	return pr.M.FS.Unlink(p, path, pr.Cred)
+}
+
+// Mkdir creates a directory.
+func (pr *Process) Mkdir(p *sim.Proc, path string, perm uint16) error {
+	path, err := pr.resolve(path)
+	if err != nil {
+		return err
+	}
+	pr.enter(p)
+	defer pr.exit(p)
+	pr.M.CPU.Compute(p, pr.M.Cfg.OpenCost)
+	_, err = pr.M.FS.Mkdir(p, path, perm, pr.Cred)
+	return err
+}

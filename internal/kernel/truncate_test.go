@@ -1,0 +1,72 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/ext4"
+	"repro/internal/nvme"
+	"repro/internal/sim"
+)
+
+// TestFtruncateDetachesFTEs verifies Table 3's ftruncate row: when
+// blocks are deallocated, the corresponding FTEs are detached so the
+// process can no longer reach those blocks from userspace.
+func TestFtruncateDetachesFTEs(t *testing.T) {
+	s, m := newMachine(t)
+	pr := m.NewProcess(ext4.Root)
+	s.Spawn("app", func(p *sim.Proc) {
+		mkFile(t, p, pr, "/t", make([]byte, 8*4096))
+		fd, base, err := pr.OpenBypass(p, "/t", true)
+		if err != nil || base == 0 {
+			t.Errorf("OpenBypass: base=%d err=%v", base, err)
+			return
+		}
+		q, _ := pr.CreateUserQueue(p, 16)
+		buf := make([]byte, 4096)
+		read := func(page int64) nvme.Status {
+			_ = q.Submit(nvme.SQE{Opcode: nvme.OpRead, CID: 1, UseVBA: true,
+				VBA: base + uint64(page)*4096, Sectors: 8, Buf: buf})
+			for {
+				if c, ok := q.PopCQE(); ok {
+					return c.Status
+				}
+				q.CQReady.Wait(p)
+			}
+		}
+		if st := read(5); !st.OK() {
+			t.Errorf("pre-truncate read: %v", st)
+			return
+		}
+		if err := pr.Ftruncate(p, fd, 2*4096); err != nil {
+			t.Error(err)
+			return
+		}
+		// Truncated pages fault; kept pages still resolve.
+		if st := read(5); st != nvme.StatusTranslationFault {
+			t.Errorf("read of truncated page = %v, want translation-fault", st)
+			return
+		}
+		if st := read(1); !st.OK() {
+			t.Errorf("read of kept page = %v", st)
+			return
+		}
+		// Regrow via fallocate re-attaches FTEs for fresh (zeroed)
+		// blocks.
+		if err := pr.Fallocate(p, fd, 8*4096); err != nil {
+			t.Error(err)
+			return
+		}
+		if st := read(5); !st.OK() {
+			t.Errorf("read after regrow = %v", st)
+			return
+		}
+		for i, b := range buf {
+			if b != 0 {
+				t.Errorf("regrown page leaked byte %#x at %d", b, i)
+				return
+			}
+		}
+	})
+	s.Run()
+	s.Shutdown()
+}

@@ -1,0 +1,224 @@
+// Package nvme defines the NVMe protocol surface shared by the
+// simulated SSD, the kernel driver, and BypassD's UserLib: submission
+// and completion queue entries, status codes, and in-memory queue
+// pairs with doorbell semantics.
+//
+// BypassD extends the command format with Virtual Block Addresses
+// (VBAs): a submission entry may carry a process-virtual address in
+// place of a Logical Block Address, in which case the device asks the
+// IOMMU to translate it (paper §3.5). The PASID needed for that walk
+// is a property of the queue pair, linked at queue-creation time by
+// the kernel driver (paper §3.3).
+package nvme
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Opcode identifies an NVMe I/O command.
+type Opcode uint8
+
+// Supported commands.
+const (
+	OpRead Opcode = iota
+	OpWrite
+	OpFlush
+	OpWriteZeroes
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpFlush:
+		return "flush"
+	case OpWriteZeroes:
+		return "write-zeroes"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Status is an NVMe completion status code.
+type Status uint16
+
+// Completion statuses. TranslationFault and AccessDenied are the
+// BypassD additions: the IOMMU could not translate the VBA (no FTE —
+// access revoked or never granted) or the permission/DevID check
+// failed. The SSD returns the error to the submitter without touching
+// media (paper §5.3).
+const (
+	StatusSuccess Status = iota
+	StatusLBAOutOfRange
+	StatusInvalidField
+	StatusTranslationFault
+	StatusAccessDenied
+	StatusInternalError
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusSuccess:
+		return "success"
+	case StatusLBAOutOfRange:
+		return "lba-out-of-range"
+	case StatusInvalidField:
+		return "invalid-field"
+	case StatusTranslationFault:
+		return "translation-fault"
+	case StatusAccessDenied:
+		return "access-denied"
+	case StatusInternalError:
+		return "internal-error"
+	default:
+		return fmt.Sprintf("status(%d)", uint16(s))
+	}
+}
+
+// OK reports whether the status is a success.
+func (s Status) OK() bool { return s == StatusSuccess }
+
+// SQE is a submission queue entry.
+type SQE struct {
+	Opcode  Opcode
+	CID     uint16 // command identifier, echoed in the CQE
+	Sectors int64  // transfer length in 512 B sectors
+
+	// Exactly one addressing mode is used:
+	// UseVBA=false: SLBA is a device sector number.
+	// UseVBA=true: VBA is a process-virtual byte address that the
+	// device must have translated by the IOMMU before media access.
+	UseVBA bool
+	SLBA   int64
+	VBA    uint64
+
+	// Buf is the DMA target/source. Its length must be
+	// Sectors*SectorSize. In hardware this would be a PRP/SGL; the
+	// simulation passes the pinned buffer directly.
+	Buf []byte
+}
+
+// CQE is a completion queue entry.
+type CQE struct {
+	CID    uint16
+	Status Status
+}
+
+// QueuePair is an in-memory NVMe submission/completion queue pair.
+// The kernel driver creates queue pairs and may map them into a
+// process (the BypassD interface); each pair carries the PASID of the
+// owning process so the IOMMU can locate its page tables.
+type QueuePair struct {
+	ID    int
+	PASID uint32
+
+	sq       []SQE
+	sqHead   int
+	sqTail   int
+	sqCount  int
+	cq       []CQE
+	cqHead   int
+	cqTail   int
+	cqCount  int
+	Doorbell *sim.Cond // device waits here for submissions
+	CQReady  *sim.Cond // submitters wait here for completions
+
+	closed bool
+}
+
+// NewQueuePair returns a queue pair with the given ring depth.
+func NewQueuePair(s *sim.Sim, id int, pasid uint32, depth int) *QueuePair {
+	if depth <= 0 {
+		panic("nvme: queue depth must be positive")
+	}
+	return &QueuePair{
+		ID:       id,
+		PASID:    pasid,
+		sq:       make([]SQE, depth),
+		cq:       make([]CQE, depth),
+		Doorbell: s.NewCond(),
+		CQReady:  s.NewCond(),
+	}
+}
+
+// Depth reports the ring size.
+func (q *QueuePair) Depth() int { return len(q.sq) }
+
+// SQLen reports the number of submitted, unconsumed commands.
+func (q *QueuePair) SQLen() int { return q.sqCount }
+
+// CQLen reports the number of posted, unreaped completions.
+func (q *QueuePair) CQLen() int { return q.cqCount }
+
+// Closed reports whether the pair has been shut down.
+func (q *QueuePair) Closed() bool { return q.closed }
+
+// Close marks the pair unusable and wakes any waiters.
+func (q *QueuePair) Close() {
+	q.closed = true
+	q.Doorbell.Broadcast()
+	q.CQReady.Broadcast()
+}
+
+// Submit places e on the submission queue and rings the doorbell.
+// It reports an error if the ring is full or the queue is closed;
+// callers enforce queue depth and must not spin on a full ring.
+func (q *QueuePair) Submit(e SQE) error {
+	if q.closed {
+		return fmt.Errorf("nvme: queue %d closed", q.ID)
+	}
+	if q.sqCount == len(q.sq) {
+		return fmt.Errorf("nvme: queue %d submission ring full", q.ID)
+	}
+	if e.Opcode != OpFlush && e.Opcode != OpWriteZeroes && int64(len(e.Buf)) != e.Sectors*SectorSize {
+		return fmt.Errorf("nvme: buffer length %d != %d sectors", len(e.Buf), e.Sectors)
+	}
+	q.sq[q.sqTail] = e
+	q.sqTail = (q.sqTail + 1) % len(q.sq)
+	q.sqCount++
+	q.Doorbell.Signal()
+	return nil
+}
+
+// PopSQE removes the oldest submission, reporting false if empty.
+// Called by the device during arbitration.
+func (q *QueuePair) PopSQE() (SQE, bool) {
+	if q.sqCount == 0 {
+		return SQE{}, false
+	}
+	e := q.sq[q.sqHead]
+	q.sqHead = (q.sqHead + 1) % len(q.sq)
+	q.sqCount--
+	return e, true
+}
+
+// PostCQE places a completion on the completion queue and signals
+// pollers. The CQ cannot overflow because completions never exceed
+// outstanding submissions on a same-depth ring.
+func (q *QueuePair) PostCQE(c CQE) {
+	if q.cqCount == len(q.cq) {
+		panic("nvme: completion ring overflow")
+	}
+	q.cq[q.cqTail] = c
+	q.cqTail = (q.cqTail + 1) % len(q.cq)
+	q.cqCount++
+	q.CQReady.Broadcast()
+}
+
+// PopCQE removes the oldest completion, reporting false if empty.
+func (q *QueuePair) PopCQE() (CQE, bool) {
+	if q.cqCount == 0 {
+		return CQE{}, false
+	}
+	c := q.cq[q.cqHead]
+	q.cqHead = (q.cqHead + 1) % len(q.cq)
+	q.cqCount--
+	return c, true
+}
+
+// SectorSize re-exports the device sector size for convenience.
+const SectorSize = 512

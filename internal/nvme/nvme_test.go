@@ -1,0 +1,133 @@
+package nvme
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func newQP(depth int) *QueuePair {
+	return NewQueuePair(sim.New(), 1, 42, depth)
+}
+
+func TestSubmitPopOrder(t *testing.T) {
+	q := newQP(4)
+	for i := 0; i < 3; i++ {
+		e := SQE{Opcode: OpFlush, CID: uint16(i)}
+		if err := q.Submit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.SQLen() != 3 {
+		t.Fatalf("sqlen = %d, want 3", q.SQLen())
+	}
+	for i := 0; i < 3; i++ {
+		e, ok := q.PopSQE()
+		if !ok || e.CID != uint16(i) {
+			t.Fatalf("pop %d: got cid %d ok=%v", i, e.CID, ok)
+		}
+	}
+	if _, ok := q.PopSQE(); ok {
+		t.Fatal("pop on empty ring succeeded")
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	q := newQP(2)
+	for round := 0; round < 5; round++ {
+		if err := q.Submit(SQE{Opcode: OpFlush, CID: uint16(round)}); err != nil {
+			t.Fatal(err)
+		}
+		e, ok := q.PopSQE()
+		if !ok || e.CID != uint16(round) {
+			t.Fatalf("round %d: cid %d", round, e.CID)
+		}
+	}
+}
+
+func TestSubmitFullRing(t *testing.T) {
+	q := newQP(2)
+	_ = q.Submit(SQE{Opcode: OpFlush})
+	_ = q.Submit(SQE{Opcode: OpFlush})
+	if err := q.Submit(SQE{Opcode: OpFlush}); err == nil {
+		t.Fatal("submit to full ring succeeded")
+	}
+}
+
+func TestSubmitBufferValidation(t *testing.T) {
+	q := newQP(4)
+	e := SQE{Opcode: OpRead, Sectors: 2, Buf: make([]byte, SectorSize)} // too short
+	if err := q.Submit(e); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	e.Buf = make([]byte, 2*SectorSize)
+	if err := q.Submit(e); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompletionFlow(t *testing.T) {
+	q := newQP(4)
+	q.PostCQE(CQE{CID: 7, Status: StatusSuccess})
+	q.PostCQE(CQE{CID: 8, Status: StatusAccessDenied})
+	c, ok := q.PopCQE()
+	if !ok || c.CID != 7 || !c.Status.OK() {
+		t.Fatalf("cqe 1 = %+v ok=%v", c, ok)
+	}
+	c, ok = q.PopCQE()
+	if !ok || c.CID != 8 || c.Status.OK() {
+		t.Fatalf("cqe 2 = %+v ok=%v", c, ok)
+	}
+	if _, ok := q.PopCQE(); ok {
+		t.Fatal("pop on empty cq succeeded")
+	}
+}
+
+func TestDoorbellSignalsDevice(t *testing.T) {
+	s := sim.New()
+	q := NewQueuePair(s, 1, 0, 8)
+	var got uint16
+	s.Spawn("device", func(p *sim.Proc) {
+		for {
+			e, ok := q.PopSQE()
+			if ok {
+				got = e.CID
+				return
+			}
+			q.Doorbell.Wait(p)
+		}
+	})
+	s.Spawn("app", func(p *sim.Proc) {
+		p.Sleep(100)
+		if err := q.Submit(SQE{Opcode: OpFlush, CID: 55}); err != nil {
+			t.Error(err)
+		}
+	})
+	s.Run()
+	if got != 55 {
+		t.Fatalf("device consumed cid %d, want 55", got)
+	}
+}
+
+func TestCloseRejectsSubmit(t *testing.T) {
+	q := newQP(4)
+	q.Close()
+	if !q.Closed() {
+		t.Fatal("not closed")
+	}
+	if err := q.Submit(SQE{Opcode: OpFlush}); err == nil {
+		t.Fatal("submit on closed queue succeeded")
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	if StatusSuccess.String() != "success" || StatusAccessDenied.String() != "access-denied" {
+		t.Fatal("status string mismatch")
+	}
+	if !StatusSuccess.OK() || StatusTranslationFault.OK() {
+		t.Fatal("OK() mismatch")
+	}
+	if OpRead.String() != "read" || OpWriteZeroes.String() != "write-zeroes" {
+		t.Fatal("opcode string mismatch")
+	}
+}

@@ -1,0 +1,269 @@
+package pagetable
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEntryEncoding(t *testing.T) {
+	e := MakeFTE(0x123456789, 7)
+	if !e.Present() || !e.RW() || !e.FT() {
+		t.Fatalf("FTE flags wrong: %#x", uint64(e))
+	}
+	if e.LBA() != 0x123456789 {
+		t.Fatalf("LBA = %#x, want 0x123456789", e.LBA())
+	}
+	if e.DevID() != 7 {
+		t.Fatalf("DevID = %d, want 7", e.DevID())
+	}
+
+	p := MakePTE(0xabcde, false)
+	if !p.Present() || p.RW() || p.FT() {
+		t.Fatalf("PTE flags wrong: %#x", uint64(p))
+	}
+	if p.PFN() != 0xabcde {
+		t.Fatalf("PFN = %#x", p.PFN())
+	}
+}
+
+func TestEntryEncodingProperty(t *testing.T) {
+	f := func(rawLBA uint64, dev uint8) bool {
+		lba := int64(rawLBA % (1 << 36))
+		e := MakeFTE(lba, dev)
+		return e.LBA() == lba && e.DevID() == dev && e.FT() && e.Present()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFTEOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("huge LBA did not panic")
+		}
+	}()
+	MakeFTE(1<<36, 0)
+}
+
+func TestMapWalkUnmap(t *testing.T) {
+	tab := New()
+	va := uint64(0x7000_0040_2000)
+	tab.Map(va, MakeFTE(800, 1))
+	r := tab.Walk(va)
+	if !r.Found || r.Entry.LBA() != 800 || !r.EffRW {
+		t.Fatalf("walk = %+v", r)
+	}
+	if r.Levels != 4 {
+		t.Fatalf("levels = %d, want 4", r.Levels)
+	}
+	if !tab.Unmap(va) {
+		t.Fatal("unmap reported no entry")
+	}
+	if tab.Walk(va).Found {
+		t.Fatal("walk found entry after unmap")
+	}
+	if tab.Unmap(va) {
+		t.Fatal("double unmap reported an entry")
+	}
+}
+
+func TestWalkMissAtEachLevel(t *testing.T) {
+	tab := New()
+	if r := tab.Walk(0x1000); r.Found || r.Levels != 1 {
+		t.Fatalf("empty table walk = %+v", r)
+	}
+	tab.Map(0x1000, MakeFTE(1, 0))
+	// Same PT, different page: miss at leaf (4 levels touched).
+	if r := tab.Walk(0x2000); r.Found || r.Levels != 4 {
+		t.Fatalf("leaf miss walk = %+v", r)
+	}
+	// Different PGD slot: only the top level is touched.
+	if r := tab.Walk(uint64(1) << 40); r.Found || r.Levels != 1 {
+		t.Fatalf("high va walk = %+v", r)
+	}
+}
+
+func TestWalkOutOfRange(t *testing.T) {
+	tab := New()
+	if r := tab.Walk(MaxVA); r.Found {
+		t.Fatal("walk beyond canonical range found entry")
+	}
+}
+
+func TestAttachPMDAndEffectivePermissions(t *testing.T) {
+	// One shared fragment, two processes with different rights.
+	frag := &Node{}
+	frag.SetEntry(3, MakeFTE(4096, 2))
+
+	rw := New()
+	ro := New()
+	base := uint64(16 * PMDSpan)
+	if _, err := rw.AttachPMD(base, frag, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ro.AttachPMD(base, frag, false); err != nil {
+		t.Fatal(err)
+	}
+
+	va := base + 3*PageSize
+	r1 := rw.Walk(va)
+	if !r1.Found || !r1.EffRW || r1.Entry.LBA() != 4096 {
+		t.Fatalf("rw walk = %+v", r1)
+	}
+	r2 := ro.Walk(va)
+	if !r2.Found || r2.EffRW {
+		t.Fatalf("ro walk = %+v (EffRW should be false)", r2)
+	}
+
+	// Patching the shared fragment is visible through both tables.
+	frag.SetEntry(9, MakeFTE(9999, 2))
+	if r := ro.Walk(base + 9*PageSize); !r.Found || r.Entry.LBA() != 9999 {
+		t.Fatalf("shared patch not visible: %+v", r)
+	}
+}
+
+func TestAttachAlignment(t *testing.T) {
+	tab := New()
+	if _, err := tab.AttachPMD(PageSize, &Node{}, true); err == nil {
+		t.Fatal("unaligned attach succeeded")
+	}
+}
+
+func TestDetachPMDRevokes(t *testing.T) {
+	frag := &Node{}
+	frag.SetEntry(0, MakeFTE(100, 0))
+	tab := New()
+	base := uint64(4 * PMDSpan)
+	if _, err := tab.AttachPMD(base, frag, true); err != nil {
+		t.Fatal(err)
+	}
+	if !tab.Walk(base).Found {
+		t.Fatal("walk failed before detach")
+	}
+	if !tab.DetachPMD(base) {
+		t.Fatal("detach reported nothing attached")
+	}
+	if tab.Walk(base).Found {
+		t.Fatal("walk succeeded after detach (revocation broken)")
+	}
+	if tab.DetachPMD(base) {
+		t.Fatal("double detach reported an attachment")
+	}
+}
+
+func TestFileTableBuild(t *testing.T) {
+	lbas := []int64{8, 16, -1, 32}
+	ft := BuildFileTable(3, lbas)
+	if ft.Pages() != 4 {
+		t.Fatalf("pages = %d, want 4", ft.Pages())
+	}
+	if ft.PTEs() != 3 {
+		t.Fatalf("PTEs = %d, want 3 (one hole)", ft.PTEs())
+	}
+	if len(ft.Fragments()) != 1 {
+		t.Fatalf("frags = %d, want 1", len(ft.Fragments()))
+	}
+}
+
+func TestFileTableMultiFragment(t *testing.T) {
+	ft := NewFileTable(0)
+	pages := EntriesPer*2 + 10 // spills into a third fragment
+	for i := 0; i < pages; i++ {
+		ft.SetPage(i, int64(i*8))
+	}
+	if got := len(ft.Fragments()); got != 3 {
+		t.Fatalf("fragments = %d, want 3", got)
+	}
+	if ft.SpanBytes() != 3*PMDSpan {
+		t.Fatalf("span = %d", ft.SpanBytes())
+	}
+
+	tab := New()
+	base := uint64(0x4000_0000_0000)
+	updates, err := ft.Attach(tab, base, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if updates < 3 {
+		t.Fatalf("updates = %d, want >= 3 (one per fragment)", updates)
+	}
+	// Check a page in each fragment.
+	for _, pg := range []int{0, EntriesPer + 5, 2*EntriesPer + 9} {
+		r := tab.Walk(base + uint64(pg)*PageSize)
+		if !r.Found || r.Entry.LBA() != int64(pg*8) {
+			t.Fatalf("page %d walk = %+v", pg, r)
+		}
+	}
+	// Unmapped page within span.
+	if r := tab.Walk(base + uint64(2*EntriesPer+10)*PageSize); r.Found {
+		t.Fatal("hole page resolved")
+	}
+
+	ft.Detach(tab, base)
+	if tab.Walk(base).Found {
+		t.Fatal("walk succeeded after Detach")
+	}
+}
+
+func TestFileTableTruncate(t *testing.T) {
+	ft := NewFileTable(0)
+	for i := 0; i < 20; i++ {
+		ft.SetPage(i, int64(i))
+	}
+	ft.Truncate(5)
+	if ft.Pages() != 5 {
+		t.Fatalf("pages after truncate = %d, want 5", ft.Pages())
+	}
+	if ft.PTEs() != 5 {
+		t.Fatalf("PTEs after truncate = %d, want 5", ft.PTEs())
+	}
+	// Growing again reuses cleared slots.
+	ft.SetPage(7, 70)
+	if ft.Pages() != 8 || ft.PTEs() != 6 {
+		t.Fatalf("pages/PTEs = %d/%d after regrow", ft.Pages(), ft.PTEs())
+	}
+}
+
+func TestClearPage(t *testing.T) {
+	ft := BuildFileTable(0, []int64{8, 16, 24})
+	ft.ClearPage(1)
+	if ft.PTEs() != 2 {
+		t.Fatalf("PTEs = %d, want 2", ft.PTEs())
+	}
+	ft.ClearPage(99) // out of range: no-op
+	ft.ClearPage(-1)
+}
+
+// Property: walking any page mapped through a file table returns the
+// exact LBA that was set.
+func TestFileTableWalkProperty(t *testing.T) {
+	f := func(seedPages []uint16) bool {
+		if len(seedPages) == 0 {
+			return true
+		}
+		ft := NewFileTable(5)
+		want := map[int]int64{}
+		for i, sp := range seedPages {
+			pg := int(sp) % 2048
+			lba := int64(i*8 + 8)
+			ft.SetPage(pg, lba)
+			want[pg] = lba
+		}
+		tab := New()
+		base := uint64(0x2000_0000_0000)
+		if _, err := ft.Attach(tab, base, true); err != nil {
+			return false
+		}
+		for pg, lba := range want {
+			r := tab.Walk(base + uint64(pg)*PageSize)
+			if !r.Found || r.Entry.LBA() != lba || r.Entry.DevID() != 5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

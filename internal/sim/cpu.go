@@ -1,0 +1,103 @@
+package sim
+
+// CPUSet models a pool of cores with processor-sharing semantics.
+//
+// The BypassD evaluation machine has 24 hardware threads (paper §6.1).
+// Compute segments dilate when more threads demand CPU than there are
+// cores, and busy-polling threads additionally pay a descheduling
+// penalty when oversubscribed — this is what makes io_uring's SQPOLL
+// mode collapse past 12 application threads in Fig. 9 (each ring
+// needs an extra polling core).
+type CPUSet struct {
+	sim    *Sim
+	cores  int
+	demand int // threads currently computing or busy-polling
+
+	// DeschedulePenalty approximates the scheduler-quantum stall a
+	// busy-polling thread suffers per wait when demand exceeds cores.
+	// The penalty applied is penalty * (demand-cores)/demand.
+	DeschedulePenalty Time
+}
+
+// NewCPUSet returns a CPU pool with the given core count.
+func (s *Sim) NewCPUSet(cores int) *CPUSet {
+	if cores <= 0 {
+		panic("sim: core count must be positive")
+	}
+	return &CPUSet{sim: s, cores: cores, DeschedulePenalty: 50 * Microsecond}
+}
+
+// Cores reports the core count.
+func (c *CPUSet) Cores() int { return c.cores }
+
+// Demand reports the instantaneous CPU demand.
+func (c *CPUSet) Demand() int { return c.demand }
+
+// dilation returns the processor-sharing slowdown factor for the
+// current demand level.
+func (c *CPUSet) dilation() float64 {
+	if c.demand <= c.cores {
+		return 1
+	}
+	return float64(c.demand) / float64(c.cores)
+}
+
+// Compute burns d nanoseconds of CPU on the calling proc, dilated by
+// the oversubscription factor sampled at entry.
+func (c *CPUSet) Compute(p *Proc, d Time) {
+	if d <= 0 {
+		return
+	}
+	c.demand++
+	f := c.dilation()
+	p.Sleep(Time(float64(d) * f))
+	c.demand--
+}
+
+// BusyWait parks p on cond while charging it as CPU demand (the thread
+// spins on a completion queue rather than blocking). When the machine
+// is oversubscribed the waker's signal is additionally delayed by a
+// share of the descheduling penalty, modelling the spinning thread
+// losing its core to the scheduler.
+func (c *CPUSet) BusyWait(p *Proc, cond *Cond) {
+	c.demand++
+	cond.Wait(p)
+	if c.demand > c.cores {
+		over := c.demand - c.cores
+		p.Sleep(c.DeschedulePenalty * Time(over) / Time(c.demand))
+	}
+	c.demand--
+}
+
+// BusyUntil spins until pred() is true, re-checking after every wakeup
+// of cond. The predicate is evaluated before the first wait.
+func (c *CPUSet) BusyUntil(p *Proc, cond *Cond, pred func() bool) {
+	for !pred() {
+		c.BusyWait(p, cond)
+	}
+}
+
+// BlockedWait parks p on cond without charging CPU demand (the thread
+// sleeps in the kernel awaiting an interrupt).
+func (c *CPUSet) BlockedWait(p *Proc, cond *Cond) {
+	cond.Wait(p)
+}
+
+// Occupy marks the calling thread as permanently CPU-hungry until
+// Vacate — a pinned polling thread that never yields its core
+// (io_uring SQPOLL+IOPOLL). While occupied, use PenaltyWait instead
+// of BusyWait to avoid double-counting demand.
+func (c *CPUSet) Occupy() { c.demand++ }
+
+// Vacate releases an Occupy.
+func (c *CPUSet) Vacate() { c.demand-- }
+
+// Penalty charges p the descheduling share an always-spinning thread
+// suffers when the machine is oversubscribed. Call it after each unit
+// of work (or wakeup) of an Occupy'd thread.
+func (c *CPUSet) Penalty(p *Proc) {
+	if c.demand > c.cores {
+		over := c.demand - c.cores
+		p.Sleep(c.DeschedulePenalty * Time(over) / Time(c.demand))
+	}
+}

@@ -1,0 +1,286 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All latencies in the BypassD reproduction are virtual: the simulated
+// machine (SSD, IOMMU, kernel, applications) advances a virtual
+// nanosecond clock instead of wall-clock time, so results are exact and
+// reproducible regardless of the Go runtime's scheduling behaviour.
+//
+// The kernel runs simulated processes (Proc) cooperatively: exactly one
+// proc executes at any moment, and control transfers between the
+// scheduler and procs through a strict channel handshake. Events that
+// fire at the same virtual instant run in the order they were posted.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a virtual timestamp or duration in nanoseconds.
+type Time int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String formats t with an adaptive unit, e.g. "4.02µs".
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.2fµs", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros returns t expressed in microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// procState tracks where a Proc is in its lifecycle.
+type procState int
+
+const (
+	procNew procState = iota
+	procRunning
+	procParked
+	procDone
+)
+
+// Proc is a simulated thread of execution. A Proc may only call
+// blocking methods (Sleep, Cond.Wait, Resource.Acquire, ...) from its
+// own goroutine while it is the running proc.
+type Proc struct {
+	sim   *Sim
+	name  string
+	wake  chan struct{}
+	state procState
+}
+
+// Name returns the name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the simulation this proc belongs to.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.sim.now }
+
+// killed is the panic payload used to unwind procs during Shutdown.
+type killed struct{}
+
+// Sim is a discrete-event simulation instance. The zero value is not
+// usable; construct with New.
+type Sim struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	yield   chan struct{}
+	procs   []*Proc
+	killing bool
+	running bool
+}
+
+// New returns an empty simulation with the clock at zero.
+func New() *Sim {
+	return &Sim{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// post schedules fn to run at time at. fn executes on the scheduler
+// goroutine; it must not block.
+func (s *Sim) post(at Time, fn func()) {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: event posted in the past (%v < %v)", at, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: at, seq: s.seq, fn: fn})
+}
+
+// At schedules fn to run at absolute virtual time at. fn runs in
+// scheduler context and must not block; spawn a proc for blocking work.
+func (s *Sim) At(at Time, fn func()) { s.post(at, fn) }
+
+// After schedules fn to run d nanoseconds from now. fn runs in
+// scheduler context and must not block.
+func (s *Sim) After(d Time, fn func()) { s.post(s.now+d, fn) }
+
+// Spawn creates a proc that begins executing fn at the current virtual
+// time. It may be called before Run or from inside a running proc.
+func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
+	return s.SpawnAt(s.now, name, fn)
+}
+
+// SpawnAt creates a proc that begins executing fn at virtual time at.
+func (s *Sim) SpawnAt(at Time, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{sim: s, name: name, wake: make(chan struct{})}
+	s.procs = append(s.procs, p)
+	go func() {
+		<-p.wake
+		if s.killing {
+			s.finish(p)
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killed); !ok {
+					panic(r)
+				}
+			}
+			s.finish(p)
+		}()
+		p.state = procRunning
+		fn(p)
+	}()
+	s.post(at, func() { s.resume(p) })
+	return p
+}
+
+// finish marks p done and returns control to the scheduler.
+func (s *Sim) finish(p *Proc) {
+	p.state = procDone
+	s.yield <- struct{}{}
+}
+
+// resume hands control to p and blocks the scheduler until p parks or
+// finishes. It must only run on the scheduler goroutine.
+func (s *Sim) resume(p *Proc) {
+	if p.state == procDone {
+		return
+	}
+	p.state = procRunning
+	p.wake <- struct{}{}
+	<-s.yield
+}
+
+// park suspends the calling proc until it is resumed. The proc must
+// already have arranged for a wakeup (an event, cond membership, ...).
+func (p *Proc) park() {
+	s := p.sim
+	p.state = procParked
+	s.yield <- struct{}{}
+	<-p.wake
+	if s.killing {
+		panic(killed{})
+	}
+	p.state = procRunning
+}
+
+// Sleep advances the proc's virtual time by d. d must be >= 0.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %d", d))
+	}
+	s := p.sim
+	s.post(s.now+d, func() { s.resume(p) })
+	p.park()
+}
+
+// Yield lets all other events scheduled at the current instant run
+// before the proc continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// wakeAt schedules p to be resumed at absolute time at.
+func (s *Sim) wakeAt(at Time, p *Proc) {
+	s.post(at, func() { s.resume(p) })
+}
+
+// Run processes events until the event queue is empty. Procs parked on
+// conditions with no pending wakeups remain parked (idle servers); call
+// Shutdown to unwind them.
+func (s *Sim) Run() {
+	if s.running {
+		panic("sim: Run is not reentrant")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(event)
+		s.now = e.at
+		e.fn()
+	}
+}
+
+// RunUntil processes events with timestamps <= t, then sets the clock
+// to t. It returns the number of events processed.
+func (s *Sim) RunUntil(t Time) int {
+	if s.running {
+		panic("sim: RunUntil is not reentrant")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	n := 0
+	for s.events.Len() > 0 && s.events[0].at <= t {
+		e := heap.Pop(&s.events).(event)
+		s.now = e.at
+		e.fn()
+		n++
+	}
+	if s.now < t {
+		s.now = t
+	}
+	return n
+}
+
+// Shutdown unwinds every parked or not-yet-started proc so their
+// goroutines exit. Pending events are discarded. The simulation must
+// not be used afterwards. Procs must not park inside deferred
+// functions, or Shutdown will deadlock.
+func (s *Sim) Shutdown() {
+	s.killing = true
+	s.events = nil
+	for _, p := range s.procs {
+		if p.state == procParked || p.state == procNew {
+			p.wake <- struct{}{}
+			<-s.yield
+		}
+	}
+}
+
+// Live reports the number of procs that have not finished.
+func (s *Sim) Live() int {
+	n := 0
+	for _, p := range s.procs {
+		if p.state != procDone {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,208 @@
+// Package spdk implements the SPDK-like baseline: a userspace NVMe
+// driver with no file system and no kernel on the data path. It maps
+// the device's raw LBA space into the process, so it achieves the
+// lowest possible latency — and, exactly as the paper argues (§2),
+// it cannot be shared: the process claims the whole device, and any
+// "file" is just a named range of raw sectors with no permission
+// enforcement.
+package spdk
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/nvme"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Config is the userspace driver cost model.
+type Config struct {
+	LibOverhead sim.Time // request build + completion handling
+	CopyBase    sim.Time
+	CopyBW      float64 // bytes per nanosecond
+	QueueDepth  int
+	DMABufBytes int
+}
+
+// DefaultConfig mirrors UserLib's costs minus interception overhead.
+func DefaultConfig() Config {
+	return Config{
+		LibOverhead: 100 * sim.Nanosecond,
+		CopyBase:    60 * sim.Nanosecond,
+		CopyBW:      10.7,
+		QueueDepth:  256,
+		DMABufBytes: 1 << 20,
+	}
+}
+
+// Region names a contiguous run of raw sectors ("file" without a file
+// system — applications carve the device themselves, as SPDK apps
+// must).
+type Region struct {
+	Sector  int64
+	Sectors int64
+}
+
+// Bytes reports the region size.
+func (r Region) Bytes() int64 { return r.Sectors * storage.SectorSize }
+
+// Driver is an exclusive userspace claim on a device.
+type Driver struct {
+	cpu *sim.CPUSet
+	dev *device.SSD
+	cfg Config
+
+	files map[string]Region
+	next  int64 // allocation cursor in sectors
+}
+
+// Claim takes exclusive ownership of the device. It fails if any
+// other driver holds it — device sharing is structurally impossible.
+func Claim(cpu *sim.CPUSet, dev *device.SSD, cfg Config) (*Driver, error) {
+	if err := dev.Claim("spdk"); err != nil {
+		return nil, err
+	}
+	return &Driver{cpu: cpu, dev: dev, cfg: cfg, files: make(map[string]Region)}, nil
+}
+
+// Release gives the device back.
+func (d *Driver) Release() { d.dev.Release("spdk") }
+
+// CreateFile carves a fresh region of the raw device for name. There
+// are no permissions and no metadata: anyone holding the driver can
+// read every sector of the device.
+func (d *Driver) CreateFile(name string, bytes int64) (Region, error) {
+	sectors := (bytes + storage.SectorSize - 1) / storage.SectorSize
+	if d.next+sectors > d.dev.Sectors() {
+		return Region{}, fmt.Errorf("spdk: device full")
+	}
+	r := Region{Sector: d.next, Sectors: sectors}
+	d.next += sectors
+	d.files[name] = r
+	return r, nil
+}
+
+// Lookup resolves a previously created region.
+func (d *Driver) Lookup(name string) (Region, bool) {
+	r, ok := d.files[name]
+	return r, ok
+}
+
+// Queue is a per-thread queue pair + DMA buffer.
+type Queue struct {
+	d   *Driver
+	q   *nvme.QueuePair
+	dma []byte
+	cid uint16
+}
+
+// NewQueue sets up a thread's I/O channel.
+func (d *Driver) NewQueue(p *sim.Proc) (*Queue, error) {
+	q, err := d.dev.CreateQueue(0, d.cfg.QueueDepth)
+	if err != nil {
+		return nil, err
+	}
+	p.Sleep(2 * sim.Microsecond) // queue mapping setup
+	return &Queue{d: d, q: q, dma: make([]byte, d.cfg.DMABufBytes)}, nil
+}
+
+func (d *Driver) copyCost(n int) sim.Time {
+	return d.cfg.CopyBase + sim.Time(float64(n)/d.cfg.CopyBW)
+}
+
+// do submits one raw command and busy-polls completion.
+func (q *Queue) do(p *sim.Proc, op nvme.Opcode, sector int64, buf []byte) error {
+	q.cid++
+	if err := q.q.Submit(nvme.SQE{
+		Opcode:  op,
+		CID:     q.cid,
+		SLBA:    sector,
+		Sectors: int64(len(buf)) / storage.SectorSize,
+		Buf:     buf,
+	}); err != nil {
+		return err
+	}
+	for {
+		if c, ok := q.q.PopCQE(); ok {
+			if !c.Status.OK() {
+				return fmt.Errorf("spdk: %v at sector %d: %v", op, sector, c.Status)
+			}
+			return nil
+		}
+		q.d.cpu.BusyWait(p, q.q.CQReady)
+	}
+}
+
+// ReadAt reads sector-aligned data from a region.
+func (q *Queue) ReadAt(p *sim.Proc, r Region, buf []byte, off int64) (int, error) {
+	if off%storage.SectorSize != 0 || int64(len(buf))%storage.SectorSize != 0 {
+		return 0, fmt.Errorf("spdk: unaligned I/O")
+	}
+	if off+int64(len(buf)) > r.Bytes() {
+		return 0, fmt.Errorf("spdk: read beyond region")
+	}
+	q.d.cpu.Compute(p, q.d.cfg.LibOverhead)
+	n := len(buf)
+	if n > len(q.dma) {
+		n = len(q.dma)
+	}
+	done := 0
+	for done < len(buf) {
+		chunk := len(buf) - done
+		if chunk > n {
+			chunk = n
+		}
+		dma := q.dma[:chunk]
+		if err := q.do(p, nvme.OpRead, r.Sector+(off+int64(done))/storage.SectorSize, dma); err != nil {
+			return done, err
+		}
+		q.d.cpu.Compute(p, q.d.copyCost(chunk))
+		copy(buf[done:done+chunk], dma)
+		done += chunk
+	}
+	return done, nil
+}
+
+// WriteAt writes sector-aligned data to a region.
+func (q *Queue) WriteAt(p *sim.Proc, r Region, data []byte, off int64) (int, error) {
+	if off%storage.SectorSize != 0 || int64(len(data))%storage.SectorSize != 0 {
+		return 0, fmt.Errorf("spdk: unaligned I/O")
+	}
+	if off+int64(len(data)) > r.Bytes() {
+		return 0, fmt.Errorf("spdk: write beyond region")
+	}
+	q.d.cpu.Compute(p, q.d.cfg.LibOverhead)
+	done := 0
+	for done < len(data) {
+		chunk := len(data) - done
+		if chunk > len(q.dma) {
+			chunk = len(q.dma)
+		}
+		dma := q.dma[:chunk]
+		q.d.cpu.Compute(p, q.d.copyCost(chunk))
+		copy(dma, data[done:done+chunk])
+		if err := q.do(p, nvme.OpWrite, r.Sector+(off+int64(done))/storage.SectorSize, dma); err != nil {
+			return done, err
+		}
+		done += chunk
+	}
+	return done, nil
+}
+
+// Flush issues an NVMe flush.
+func (q *Queue) Flush(p *sim.Proc) error {
+	q.cid++
+	if err := q.q.Submit(nvme.SQE{Opcode: nvme.OpFlush, CID: q.cid}); err != nil {
+		return err
+	}
+	for {
+		if c, ok := q.q.PopCQE(); ok {
+			if !c.Status.OK() {
+				return fmt.Errorf("spdk: flush: %v", c.Status)
+			}
+			return nil
+		}
+		q.d.cpu.BusyWait(p, q.q.CQReady)
+	}
+}

@@ -1,0 +1,125 @@
+package spdk
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+func setup(t *testing.T, s *sim.Sim) (*sim.CPUSet, *device.SSD) {
+	t.Helper()
+	return s.NewCPUSet(24), device.New(s, device.OptaneP5800X(1<<30))
+}
+
+func TestExclusiveClaim(t *testing.T) {
+	s := sim.New()
+	cpu, dev := setup(t, s)
+	d1, err := Claim(cpu, dev, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Claim(cpu, dev, DefaultConfig()); err == nil {
+		t.Fatal("second claim succeeded: SPDK must not share the device")
+	}
+	d1.Release()
+	if _, err := Claim(cpu, dev, DefaultConfig()); err != nil {
+		t.Fatalf("claim after release: %v", err)
+	}
+	s.Shutdown()
+}
+
+func TestRawReadWriteAndLatency(t *testing.T) {
+	s := sim.New()
+	cpu, dev := setup(t, s)
+	d, err := Claim(cpu, dev, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.CreateFile("data", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lat sim.Time
+	s.Spawn("app", func(p *sim.Proc) {
+		q, err := d.NewQueue(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		w := bytes.Repeat([]byte{0x42}, 4096)
+		if _, err := q.WriteAt(p, r, w, 8192); err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, 4096)
+		start := p.Now()
+		if _, err := q.ReadAt(p, r, buf, 8192); err != nil {
+			t.Error(err)
+			return
+		}
+		lat = p.Now() - start
+		if !bytes.Equal(buf, w) {
+			t.Error("data mismatch")
+		}
+	})
+	s.Run()
+	// SPDK 4K read: ~100 lib + 4020 device + ~440 copy ≈ 4.6µs —
+	// the floor BypassD approaches within its 550ns translation.
+	if lat < 4300 || lat > 4900 {
+		t.Fatalf("spdk 4K read = %v, want ~4.6µs", lat)
+	}
+	s.Shutdown()
+}
+
+func TestRegionBounds(t *testing.T) {
+	s := sim.New()
+	cpu, dev := setup(t, s)
+	d, _ := Claim(cpu, dev, DefaultConfig())
+	r, _ := d.CreateFile("small", 4096)
+	s.Spawn("app", func(p *sim.Proc) {
+		q, _ := d.NewQueue(p)
+		buf := make([]byte, 8192)
+		if _, err := q.ReadAt(p, r, buf, 0); err == nil {
+			t.Error("read beyond region succeeded")
+		}
+		if _, err := q.ReadAt(p, r, buf[:100], 0); err == nil {
+			t.Error("unaligned read succeeded")
+		}
+	})
+	s.Run()
+	s.Shutdown()
+}
+
+func TestNoIsolationBetweenRegions(t *testing.T) {
+	// Documented (anti-)property: with SPDK, "files" are not
+	// protected from each other — the driver can read any region.
+	s := sim.New()
+	cpu, dev := setup(t, s)
+	d, _ := Claim(cpu, dev, DefaultConfig())
+	a, _ := d.CreateFile("a", 4096)
+	b, _ := d.CreateFile("b", 4096)
+	s.Spawn("app", func(p *sim.Proc) {
+		q, _ := d.NewQueue(p)
+		secret := bytes.Repeat([]byte{0x99}, 4096)
+		if _, err := q.WriteAt(p, a, secret, 0); err != nil {
+			t.Error(err)
+			return
+		}
+		// Read "b"'s region with an offset trick via raw do():
+		// region b is adjacent; a whole-device region exposes a.
+		all := Region{Sector: 0, Sectors: dev.Sectors()}
+		buf := make([]byte, 4096)
+		if _, err := q.ReadAt(p, all, buf, a.Sector*512); err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(buf, secret) {
+			t.Error("expected to read a's data through raw access (no protection in SPDK)")
+		}
+		_ = b
+	})
+	s.Run()
+	s.Shutdown()
+}

@@ -1,0 +1,297 @@
+// Package stats provides the measurement machinery used by the
+// benchmark harness: log-bucketed latency histograms with percentile
+// queries, throughput counters, per-interval time series, and plain
+// text table rendering for experiment output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Histogram records latency samples in logarithmic buckets
+// (HDR-histogram style: power-of-two major buckets each split into 32
+// linear sub-buckets), giving <3.2% relative error across the full
+// nanosecond-to-second range with constant memory.
+type Histogram struct {
+	counts map[int]int64
+	total  int64
+	sum    float64
+	min    sim.Time
+	max    sim.Time
+}
+
+const subBuckets = 32
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]int64), min: math.MaxInt64}
+}
+
+// bucketOf maps a sample to its bucket index.
+func bucketOf(v sim.Time) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < subBuckets {
+		return int(v)
+	}
+	// major = floor(log2(v)) relative to subBuckets scale
+	major := 63 - leadingZeros(uint64(v))
+	shift := major - 5 // log2(subBuckets)
+	sub := int(v >> uint(shift) & (subBuckets - 1))
+	return (int(major)-4)*subBuckets + sub
+}
+
+// bucketLow returns the smallest value mapping to bucket index b.
+func bucketLow(b int) sim.Time {
+	if b < subBuckets {
+		return sim.Time(b)
+	}
+	major := b/subBuckets + 4
+	sub := b % subBuckets
+	shift := major - 5
+	return sim.Time((int64(1)<<uint(major) + int64(sub)<<uint(shift)))
+}
+
+func leadingZeros(x uint64) int {
+	n := 0
+	if x == 0 {
+		return 64
+	}
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v sim.Time) {
+	h.counts[bucketOf(v)]++
+	h.total++
+	h.sum += float64(v)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count reports the number of samples.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Mean reports the arithmetic mean of all samples.
+func (h *Histogram) Mean() sim.Time {
+	if h.total == 0 {
+		return 0
+	}
+	return sim.Time(h.sum / float64(h.total))
+}
+
+// Min reports the smallest sample, or 0 if empty.
+func (h *Histogram) Min() sim.Time {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max reports the largest sample.
+func (h *Histogram) Max() sim.Time { return h.max }
+
+// Percentile reports the value at quantile q in [0,100], e.g. 99.9.
+// The value returned is the lower bound of the bucket containing the
+// quantile sample.
+func (h *Histogram) Percentile(q float64) sim.Time {
+	if h.total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q / 100 * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	keys := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var seen int64
+	for _, k := range keys {
+		seen += h.counts[k]
+		if seen >= rank {
+			return bucketLow(k)
+		}
+	}
+	return h.max
+}
+
+// Merge folds other's samples into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for k, c := range other.counts {
+		h.counts[k] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.total > 0 {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+}
+
+// Throughput converts an operation count over a virtual duration into
+// operations per second.
+func Throughput(ops int64, dur sim.Time) float64 {
+	if dur <= 0 {
+		return 0
+	}
+	return float64(ops) / dur.Seconds()
+}
+
+// BytesPerSec converts a byte count over a virtual duration into MB/s
+// (decimal megabytes, as used in the paper's bandwidth plots).
+func BytesPerSec(bytes int64, dur sim.Time) float64 {
+	if dur <= 0 {
+		return 0
+	}
+	return float64(bytes) / dur.Seconds()
+}
+
+// Series accumulates per-interval counts for time-series plots such as
+// the Fig. 12 revocation timeline.
+type Series struct {
+	Interval sim.Time
+	buckets  []int64
+}
+
+// NewSeries returns a series with the given bucket width.
+func NewSeries(interval sim.Time) *Series {
+	if interval <= 0 {
+		panic("stats: series interval must be positive")
+	}
+	return &Series{Interval: interval}
+}
+
+// Record adds n to the bucket containing virtual time t.
+func (s *Series) Record(t sim.Time, n int64) {
+	idx := int(t / s.Interval)
+	for len(s.buckets) <= idx {
+		s.buckets = append(s.buckets, 0)
+	}
+	s.buckets[idx] += n
+}
+
+// Buckets returns the per-interval totals.
+func (s *Series) Buckets() []int64 { return s.buckets }
+
+// Rate returns bucket i's count expressed per second.
+func (s *Series) Rate(i int) float64 {
+	if i < 0 || i >= len(s.buckets) {
+		return 0
+	}
+	return float64(s.buckets[i]) / s.Interval.Seconds()
+}
+
+// Table renders experiment results as aligned plain text, mirroring
+// the row/column structure of the paper's tables and figures.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells format with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	out := ""
+	if t.Title != "" {
+		out += "== " + t.Title + " ==\n"
+	}
+	line := func(cells []string) string {
+		s := ""
+		for i, c := range cells {
+			if i > 0 {
+				s += "  "
+			}
+			s += pad(c, widths[i])
+		}
+		return s + "\n"
+	}
+	out += line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = dashes(widths[i])
+	}
+	out += line(sep)
+	for _, r := range t.Rows {
+		out += line(r)
+	}
+	return out
+}
+
+func pad(s string, w int) string {
+	for len(s) < w {
+		s += " "
+	}
+	return s
+}
+
+func dashes(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}

@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Add(sim.Time(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("min/max = %v/%v, want 1/100", h.Min(), h.Max())
+	}
+	if m := h.Mean(); m < 49 || m > 52 {
+		t.Fatalf("mean = %v, want ~50.5", m)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Percentile(50) != 0 || h.Min() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestPercentileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]int64, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		v := int64(rng.Intn(1000000)) + 1
+		samples = append(samples, v)
+		h.Add(sim.Time(v))
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{50, 90, 99, 99.9} {
+		exact := samples[int(q/100*float64(len(samples)))-1]
+		got := int64(h.Percentile(q))
+		relErr := float64(got-exact) / float64(exact)
+		if relErr < -0.05 || relErr > 0.05 {
+			t.Errorf("p%.1f = %d, exact %d (err %.2f%%)", q, got, exact, relErr*100)
+		}
+	}
+}
+
+// Property: bucketLow(bucketOf(v)) <= v and the bucket's relative
+// width stays below ~2/32.
+func TestBucketBoundsProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		v := sim.Time(raw)
+		b := bucketOf(v)
+		low := bucketLow(b)
+		if low > v {
+			return false
+		}
+		if v >= 64 {
+			// relative error bound: bucket width / value
+			if float64(v-low)/float64(v) > 2.0/subBuckets {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 50; i++ {
+		a.Add(sim.Time(10))
+		b.Add(sim.Time(1000))
+	}
+	a.Merge(b)
+	if a.Count() != 100 {
+		t.Fatalf("merged count = %d, want 100", a.Count())
+	}
+	if a.Min() != 10 || a.Max() != 1000 {
+		t.Fatalf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+	if p := a.Percentile(25); p > 50 {
+		t.Fatalf("p25 = %v, want low bucket", p)
+	}
+	if p := a.Percentile(75); p < 500 {
+		t.Fatalf("p75 = %v, want high bucket", p)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(1000, sim.Second); got != 1000 {
+		t.Fatalf("throughput = %f, want 1000", got)
+	}
+	if got := Throughput(100, 0); got != 0 {
+		t.Fatalf("throughput over zero duration = %f, want 0", got)
+	}
+	if got := BytesPerSec(4096, sim.Millisecond); got != 4096000 {
+		t.Fatalf("bytes/sec = %f, want 4096000", got)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries(sim.Second)
+	s.Record(0, 5)
+	s.Record(sim.Second/2, 5)
+	s.Record(sim.Second+1, 7)
+	s.Record(3*sim.Second, 1)
+	b := s.Buckets()
+	if len(b) != 4 {
+		t.Fatalf("buckets = %d, want 4", len(b))
+	}
+	if b[0] != 10 || b[1] != 7 || b[2] != 0 || b[3] != 1 {
+		t.Fatalf("buckets = %v", b)
+	}
+	if s.Rate(0) != 10 {
+		t.Fatalf("rate(0) = %f, want 10", s.Rate(0))
+	}
+	if s.Rate(99) != 0 {
+		t.Fatalf("rate out of range = %f, want 0", s.Rate(99))
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("x", 1.5)
+	tb.AddRow("longer-name", 12345.6)
+	out := tb.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "longer-name") || !strings.Contains(out, "12346") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestSeriesInvalidInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero interval did not panic")
+		}
+	}()
+	NewSeries(0)
+}

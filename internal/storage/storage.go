@@ -1,0 +1,221 @@
+// Package storage implements the persistent medium behind the
+// simulated SSD: a sparse, sector-addressed block store holding real
+// bytes. Every layer above (file system, key-value stores) moves
+// actual data through it, so functional correctness is testable even
+// though latencies are virtual.
+//
+// The store is deliberately unsynchronized: the simulation kernel
+// guarantees only one simulated process executes at a time.
+package storage
+
+import (
+	"fmt"
+)
+
+// SectorSize is the device logical block size in bytes. The Intel
+// Optane P5800X used in the paper exposes 512-byte sectors (the
+// WiredTiger experiment configures 512 B B-tree pages to match).
+const SectorSize = 512
+
+// chunkSectors is the allocation granularity of the sparse store.
+const chunkSectors = 128 // 64 KiB chunks
+
+// Store is a sparse array of sectors. Unwritten sectors read as
+// zeroes, like a freshly trimmed SSD.
+type Store struct {
+	sectors int64
+	chunks  map[int64][]byte
+
+	// WriteCount and ReadCount track media accesses for tests.
+	WriteCount int64
+	ReadCount  int64
+}
+
+// New returns a store with the given capacity in sectors.
+func New(sectors int64) *Store {
+	if sectors <= 0 {
+		panic("storage: capacity must be positive")
+	}
+	return &Store{sectors: sectors, chunks: make(map[int64][]byte)}
+}
+
+// NewBytes returns a store with the given capacity in bytes, which
+// must be a multiple of SectorSize.
+func NewBytes(bytes int64) *Store {
+	if bytes%SectorSize != 0 {
+		panic("storage: capacity must be sector aligned")
+	}
+	return New(bytes / SectorSize)
+}
+
+// Sectors reports the capacity in sectors.
+func (s *Store) Sectors() int64 { return s.sectors }
+
+// Bytes reports the capacity in bytes.
+func (s *Store) Bytes() int64 { return s.sectors * SectorSize }
+
+// check validates a sector range.
+func (s *Store) check(sector, count int64) error {
+	if sector < 0 || count < 0 || sector+count > s.sectors {
+		return fmt.Errorf("storage: range [%d,+%d) outside capacity %d", sector, count, s.sectors)
+	}
+	return nil
+}
+
+// ReadSectors copies count sectors starting at sector into buf, which
+// must be at least count*SectorSize long.
+func (s *Store) ReadSectors(sector, count int64, buf []byte) error {
+	if err := s.check(sector, count); err != nil {
+		return err
+	}
+	if int64(len(buf)) < count*SectorSize {
+		return fmt.Errorf("storage: buffer %d too small for %d sectors", len(buf), count)
+	}
+	s.ReadCount += count
+	for i := int64(0); i < count; i++ {
+		s.readSector(sector+i, buf[i*SectorSize:(i+1)*SectorSize])
+	}
+	return nil
+}
+
+// WriteSectors copies count sectors from buf to the store.
+func (s *Store) WriteSectors(sector, count int64, buf []byte) error {
+	if err := s.check(sector, count); err != nil {
+		return err
+	}
+	if int64(len(buf)) < count*SectorSize {
+		return fmt.Errorf("storage: buffer %d too small for %d sectors", len(buf), count)
+	}
+	s.WriteCount += count
+	for i := int64(0); i < count; i++ {
+		s.writeSector(sector+i, buf[i*SectorSize:(i+1)*SectorSize])
+	}
+	return nil
+}
+
+func (s *Store) readSector(sector int64, dst []byte) {
+	chunk, off := sector/chunkSectors, sector%chunkSectors
+	data, ok := s.chunks[chunk]
+	if !ok {
+		for i := range dst[:SectorSize] {
+			dst[i] = 0
+		}
+		return
+	}
+	copy(dst[:SectorSize], data[off*SectorSize:])
+}
+
+func (s *Store) writeSector(sector int64, src []byte) {
+	chunk, off := sector/chunkSectors, sector%chunkSectors
+	data, ok := s.chunks[chunk]
+	if !ok {
+		data = make([]byte, chunkSectors*SectorSize)
+		s.chunks[chunk] = data
+	}
+	copy(data[off*SectorSize:(off+1)*SectorSize], src)
+}
+
+// Zero clears count sectors starting at sector (like an NVMe
+// write-zeroes command). Chunks fully covered are dropped from the
+// sparse map.
+func (s *Store) Zero(sector, count int64) error {
+	if err := s.check(sector, count); err != nil {
+		return err
+	}
+	var zero [SectorSize]byte
+	for i := int64(0); i < count; i++ {
+		sec := sector + i
+		if sec%chunkSectors == 0 && count-i >= chunkSectors {
+			delete(s.chunks, sec/chunkSectors)
+			i += chunkSectors - 1
+			continue
+		}
+		if _, ok := s.chunks[sec/chunkSectors]; ok {
+			s.writeSector(sec, zero[:])
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy, used to reuse prebuilt images (database
+// files, file-system layouts) across benchmark runs.
+func (s *Store) Clone() *Store {
+	c := New(s.sectors)
+	for k, v := range s.chunks {
+		dup := make([]byte, len(v))
+		copy(dup, v)
+		c.chunks[k] = dup
+	}
+	return c
+}
+
+// PopulatedBytes reports the bytes of backing memory in use, for
+// memory-overhead accounting.
+func (s *Store) PopulatedBytes() int64 {
+	return int64(len(s.chunks)) * chunkSectors * SectorSize
+}
+
+// SectorIO is the sector-level access contract shared by a raw Store
+// and windowed Views of it.
+type SectorIO interface {
+	ReadSectors(sector, count int64, buf []byte) error
+	WriteSectors(sector, count int64, buf []byte) error
+	Zero(sector, count int64) error
+	Sectors() int64
+}
+
+var _ SectorIO = (*Store)(nil)
+
+// View exposes a contiguous window of a Store as an isolated sector
+// space — the medium behind an SR-IOV virtual function: sector 0 of
+// the view is Base of the parent, and nothing outside [Base,
+// Base+Span) is reachable.
+type View struct {
+	St   *Store
+	Base int64
+	Span int64 // sectors
+}
+
+var _ SectorIO = (*View)(nil)
+
+// NewView carves a window out of s.
+func NewView(s *Store, base, span int64) (*View, error) {
+	if base < 0 || span <= 0 || base+span > s.Sectors() {
+		return nil, fmt.Errorf("storage: view [%d,+%d) outside store of %d sectors", base, span, s.Sectors())
+	}
+	return &View{St: s, Base: base, Span: span}, nil
+}
+
+func (v *View) check(sector, count int64) error {
+	if sector < 0 || count < 0 || sector+count > v.Span {
+		return fmt.Errorf("storage: view range [%d,+%d) outside window %d", sector, count, v.Span)
+	}
+	return nil
+}
+
+// ReadSectors implements SectorIO.
+func (v *View) ReadSectors(sector, count int64, buf []byte) error {
+	if err := v.check(sector, count); err != nil {
+		return err
+	}
+	return v.St.ReadSectors(v.Base+sector, count, buf)
+}
+
+// WriteSectors implements SectorIO.
+func (v *View) WriteSectors(sector, count int64, buf []byte) error {
+	if err := v.check(sector, count); err != nil {
+		return err
+	}
+	return v.St.WriteSectors(v.Base+sector, count, buf)
+}
+
+// Zero implements SectorIO.
+func (v *View) Zero(sector, count int64) error {
+	if err := v.check(sector, count); err != nil {
+		return err
+	}
+	return v.St.Zero(v.Base+sector, count)
+}
+
+// Sectors reports the window size.
+func (v *View) Sectors() int64 { return v.Span }

@@ -1,0 +1,566 @@
+// Package userlib implements BypassD's UserLib: the userspace shim
+// that intercepts file system calls, routes metadata operations to the
+// kernel, and issues data operations directly to the device on queue
+// pairs mapped into the process (paper §3.2, §4.2).
+//
+// Per-thread queue pairs and DMA buffers avoid synchronization on the
+// data path (paper §6.3 "Scaling"). Reads and aligned overwrites go
+// straight to the device using Virtual Block Addresses; appends and
+// other metadata-modifying operations are forwarded to the kernel
+// (paper Table 3). On a translation fault the library re-issues
+// fmap(); a zero VBA means access was revoked and the file falls back
+// to the kernel interface (paper §3.6).
+package userlib
+
+import (
+	"fmt"
+
+	"repro/internal/ext4"
+	"repro/internal/kernel"
+	"repro/internal/nvme"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Config tunes the library's cost model and resources.
+type Config struct {
+	// LibOverhead is the per-operation software cost: interception,
+	// VBA computation, SQE construction, completion handling.
+	LibOverhead sim.Time
+	// CopyBase/CopyBW model memcpy between user and DMA buffers
+	// (Fig. 7's dominant "user" component).
+	CopyBase sim.Time
+	CopyBW   float64 // bytes per nanosecond
+	// QueueDepth sizes each thread's queue pair.
+	QueueDepth int
+	// DMABufBytes sizes each thread's pinned buffer.
+	DMABufBytes int
+	// ShareQueues makes all threads share one queue pair and DMA
+	// buffer behind a lock — the ablation for the paper's claim that
+	// private per-thread queues avoid synchronization costs (§6.3).
+	ShareQueues bool
+	// ExtentFmap maps files through the IOMMU's extent-table walker
+	// (§5.1 alternate-data-structure enhancement) instead of
+	// page-table FTEs.
+	ExtentFmap bool
+}
+
+// DefaultConfig returns the calibration documented in DESIGN.md.
+func DefaultConfig() Config {
+	return Config{
+		LibOverhead: 150 * sim.Nanosecond,
+		CopyBase:    60 * sim.Nanosecond,
+		CopyBW:      10.7,
+		QueueDepth:  256,
+		DMABufBytes: 1 << 20,
+	}
+}
+
+// FileState is UserLib's view of an open file (paper §3.2: flags,
+// offset, size, starting VBA, ongoing partial writes).
+type FileState struct {
+	FD       int
+	Path     string
+	Base     uint64 // starting VBA; 0 = kernel interface
+	Writable bool
+	Size     int64
+	Offset   int64
+
+	// partial write serialization (paper §4.5.1)
+	partialOffsets map[int64]int
+	partialCond    *sim.Cond
+
+	// in-flight non-blocking writes (§5.1 extension)
+	pending []pendingRange
+}
+
+// Lib is the per-process library instance shared by all threads.
+type Lib struct {
+	Proc  *kernel.Process
+	cfg   Config
+	files map[int]*FileState
+
+	// Stats for the harness.
+	DirectOps   int64 // served via the BypassD interface
+	FallbackOps int64 // served via the kernel interface
+	Refmaps     int64 // fmap() retries after faults
+
+	shared      *Thread   // shared-queue ablation state
+	sharedReady *sim.Cond // signalled once the shared queue exists
+}
+
+// New creates the library instance for a process.
+func New(pr *kernel.Process, cfg Config) *Lib {
+	return &Lib{Proc: pr, cfg: cfg, files: make(map[int]*FileState)}
+}
+
+// Thread is per-application-thread state: a private queue pair and
+// DMA buffer, so threads never contend on the data path. In the
+// shared-queue ablation, threads alias one queue behind a lock.
+type Thread struct {
+	Lib  *Lib
+	q    *nvme.QueuePair
+	dma  []byte
+	cid  uint16
+	lock *sim.Resource // non-nil only when queues are shared
+
+	// DeviceNS accumulates submit-to-completion time; UserNS the
+	// library-side time (Fig. 7 breakdown).
+	DeviceNS sim.Time
+	UserNS   sim.Time
+}
+
+// NewThread initializes the thread's queues and DMA buffer through
+// the BypassD kernel module (paper §3.3).
+func (l *Lib) NewThread(p *sim.Proc) (*Thread, error) {
+	if l.cfg.ShareQueues {
+		return l.sharedThread(p)
+	}
+	q, err := l.Proc.CreateUserQueue(p, l.cfg.QueueDepth)
+	if err != nil {
+		return nil, err
+	}
+	return &Thread{
+		Lib: l,
+		q:   q,
+		dma: l.Proc.AllocDMABuffer(p, l.cfg.DMABufBytes),
+	}, nil
+}
+
+// sharedThread hands out aliases of one process-wide queue pair,
+// creating it exactly once even when threads race through the
+// blocking setup calls.
+func (l *Lib) sharedThread(p *sim.Proc) (*Thread, error) {
+	if l.shared == nil {
+		t := &Thread{Lib: l, lock: l.Proc.M.Sim.NewResource("userlib-shared-q", 1)}
+		l.shared = t
+		l.sharedReady = l.Proc.M.Sim.NewCond()
+		q, err := l.Proc.CreateUserQueue(p, l.cfg.QueueDepth)
+		if err != nil {
+			l.shared = nil
+			l.sharedReady.Broadcast()
+			return nil, err
+		}
+		t.q = q
+		t.dma = l.Proc.AllocDMABuffer(p, l.cfg.DMABufBytes)
+		l.sharedReady.Broadcast()
+		return t, nil
+	}
+	for l.shared != nil && l.shared.dma == nil {
+		l.sharedReady.Wait(p)
+	}
+	if l.shared == nil {
+		return nil, fmt.Errorf("userlib: shared queue setup failed")
+	}
+	return &Thread{Lib: l, q: l.shared.q, dma: l.shared.dma, lock: l.shared.lock}, nil
+}
+
+// acquire/release guard the shared queue and DMA buffer.
+func (t *Thread) acquire(p *sim.Proc) {
+	if t.lock != nil {
+		t.lock.Acquire(p)
+	}
+}
+
+func (t *Thread) release() {
+	if t.lock != nil {
+		t.lock.Release()
+	}
+}
+
+// copyCost models one memcpy of n bytes.
+func (l *Lib) copyCost(n int) sim.Time {
+	return l.cfg.CopyBase + sim.Time(float64(n)/l.cfg.CopyBW)
+}
+
+// Open intercepts open(): forward to the kernel and fmap() for the
+// BypassD interface. The returned fd works regardless of whether
+// direct access was granted.
+func (l *Lib) Open(p *sim.Proc, path string, write bool) (int, error) {
+	var fd int
+	var base uint64
+	var err error
+	if l.cfg.ExtentFmap {
+		fd, err = l.Proc.Open(p, path, write)
+		if err != nil {
+			return 0, err
+		}
+		// Open counted as kernel-interface; hand it to the direct
+		// path instead.
+		if f, e2 := l.Proc.FDInfo(fd); e2 == nil {
+			f.Ino.KernelOpens--
+		}
+		base, err = l.Proc.FmapRegion(p, fd)
+		if err != nil {
+			return 0, err
+		}
+		if base == 0 {
+			if f, e2 := l.Proc.FDInfo(fd); e2 == nil {
+				f.Ino.KernelOpens++
+			}
+		}
+	} else {
+		fd, base, err = l.Proc.OpenBypass(p, path, write)
+		if err != nil {
+			return 0, err
+		}
+	}
+	f, err := l.Proc.FDInfo(fd)
+	if err != nil {
+		return 0, err
+	}
+	l.files[fd] = &FileState{
+		FD:             fd,
+		Path:           path,
+		Base:           base,
+		Writable:       write,
+		Size:           f.Size(),
+		partialOffsets: make(map[int64]int),
+		partialCond:    l.Proc.M.Sim.NewCond(),
+	}
+	return fd, nil
+}
+
+// state resolves library state for fd.
+func (l *Lib) state(fd int) (*FileState, error) {
+	fs, ok := l.files[fd]
+	if !ok {
+		return nil, fmt.Errorf("userlib: fd %d not opened through UserLib", fd)
+	}
+	return fs, nil
+}
+
+// State exposes the file state (tests, Fig. 12 harness).
+func (l *Lib) State(fd int) (*FileState, error) { return l.state(fd) }
+
+// Direct reports whether fd currently uses the BypassD interface.
+func (fs *FileState) Direct() bool { return fs.Base > 0 }
+
+// doVBA submits one VBA command and busy-polls its completion,
+// recording the device span. Callers in shared-queue mode hold the
+// queue lock around the op including its DMA-buffer copies.
+func (t *Thread) doVBA(p *sim.Proc, op nvme.Opcode, vba uint64, buf []byte) nvme.Status {
+	t.cid++
+	e := nvme.SQE{
+		Opcode:  op,
+		CID:     t.cid,
+		UseVBA:  true,
+		VBA:     vba,
+		Sectors: int64(len(buf)) / storage.SectorSize,
+		Buf:     buf,
+	}
+	start := p.Now()
+	if err := t.q.Submit(e); err != nil {
+		return nvme.StatusInternalError
+	}
+	m := t.Lib.Proc.M
+	for {
+		if c, ok := t.q.PopCQE(); ok {
+			t.DeviceNS += p.Now() - start
+			return c.Status
+		}
+		m.CPU.BusyWait(p, t.q.CQReady)
+	}
+}
+
+// refmap re-issues fmap() after a fault. A zero VBA means revoked:
+// the file permanently falls back to the kernel interface (§3.6).
+func (t *Thread) refmap(p *sim.Proc, fs *FileState) bool {
+	t.Lib.Refmaps++
+	fmap := t.Lib.Proc.Fmap
+	if t.Lib.cfg.ExtentFmap {
+		fmap = t.Lib.Proc.FmapRegion
+	}
+	base, err := fmap(p, fs.FD)
+	if err != nil || base == 0 {
+		fs.Base = 0
+		return false
+	}
+	fs.Base = base
+	return true
+}
+
+// Pread intercepts pread(): direct VBA read with sector-granularity
+// alignment handled in the DMA buffer.
+func (t *Thread) Pread(p *sim.Proc, fd int, buf []byte, off int64) (int, error) {
+	l := t.Lib
+	fs, err := l.state(fd)
+	if err != nil {
+		return 0, err
+	}
+	if !fs.Direct() {
+		l.FallbackOps++
+		return l.Proc.Pread(p, fd, buf, off)
+	}
+	if off >= fs.Size {
+		return 0, nil
+	}
+	n := int64(len(buf))
+	if off+n > fs.Size {
+		n = fs.Size - off
+	}
+	m := l.Proc.M
+	m.CPU.Compute(p, l.cfg.LibOverhead)
+
+	alignedOff := off &^ (storage.SectorSize - 1)
+	alignedEnd := (off + n + storage.SectorSize - 1) &^ (storage.SectorSize - 1)
+	span := alignedEnd - alignedOff
+	if span > int64(len(t.dma)) {
+		// Large transfers stream through the DMA buffer in chunks.
+		var done int64
+		for done < n {
+			chunk := n - done
+			if chunk > int64(len(t.dma))/2 {
+				chunk = int64(len(t.dma)) / 2
+			}
+			c, err := t.Pread(p, fd, buf[done:done+chunk], off+done)
+			if err != nil {
+				return int(done), err
+			}
+			done += int64(c)
+		}
+		return int(done), nil
+	}
+
+	// Reads must see the latest data even if it sits in an
+	// unprocessed non-blocking write (§5.1).
+	fs.waitRange(p, m.CPU, alignedOff, span)
+
+	t.acquire(p)
+	dma := t.dma[:span]
+	st := t.doVBA(p, nvme.OpRead, fs.Base+uint64(alignedOff), dma)
+	if st == nvme.StatusTranslationFault || st == nvme.StatusAccessDenied {
+		if !t.refmap(p, fs) {
+			t.release()
+			l.FallbackOps++
+			return l.Proc.Pread(p, fd, buf, off)
+		}
+		st = t.doVBA(p, nvme.OpRead, fs.Base+uint64(alignedOff), dma)
+	}
+	if !st.OK() {
+		t.release()
+		return 0, fmt.Errorf("userlib: read %s at %d: %v", fs.Path, off, st)
+	}
+	uStart := p.Now()
+	m.CPU.Compute(p, l.copyCost(int(n)))
+	copy(buf[:n], dma[off-alignedOff:])
+	t.UserNS += p.Now() - uStart
+	t.release()
+	l.DirectOps++
+	return int(n), nil
+}
+
+// Pwrite intercepts pwrite(). Overwrites go direct; appends route to
+// the kernel (paper Table 3); sub-sector writes serialize and use
+// read-modify-write (paper §4.5.1).
+func (t *Thread) Pwrite(p *sim.Proc, fd int, data []byte, off int64) (int, error) {
+	l := t.Lib
+	fs, err := l.state(fd)
+	if err != nil {
+		return 0, err
+	}
+	if !fs.Writable {
+		return 0, ext4.ErrPerm
+	}
+	if !fs.Direct() {
+		l.FallbackOps++
+		n, err := l.Proc.Pwrite(p, fd, data, off)
+		if off+int64(n) > fs.Size {
+			fs.Size = off + int64(n)
+		}
+		return n, err
+	}
+	n := int64(len(data))
+	if off+n > fs.Size {
+		// Append: modifies metadata, so the kernel handles it and
+		// issues the write directly to the device without buffering.
+		l.FallbackOps++
+		w, err := l.Proc.Pwrite(p, fd, data, off)
+		if off+int64(w) > fs.Size {
+			fs.Size = off + int64(w)
+		}
+		return w, err
+	}
+
+	m := l.Proc.M
+	m.CPU.Compute(p, l.cfg.LibOverhead)
+
+	aligned := off%storage.SectorSize == 0 && n%storage.SectorSize == 0
+	if !aligned {
+		return t.partialWrite(p, fs, data, off)
+	}
+	if n > int64(len(t.dma)) {
+		var done int64
+		for done < n {
+			chunk := n - done
+			if chunk > int64(len(t.dma)) {
+				chunk = int64(len(t.dma))
+			}
+			c, err := t.Pwrite(p, fd, data[done:done+chunk], off+done)
+			if err != nil {
+				return int(done), err
+			}
+			done += int64(c)
+		}
+		return int(done), nil
+	}
+
+	t.acquire(p)
+	uStart := p.Now()
+	m.CPU.Compute(p, l.copyCost(int(n)))
+	dma := t.dma[:n]
+	copy(dma, data)
+	t.UserNS += p.Now() - uStart
+
+	st := t.doVBA(p, nvme.OpWrite, fs.Base+uint64(off), dma)
+	if st == nvme.StatusTranslationFault || st == nvme.StatusAccessDenied {
+		if !t.refmap(p, fs) {
+			t.release()
+			l.FallbackOps++
+			return l.Proc.Pwrite(p, fd, data, off)
+		}
+		st = t.doVBA(p, nvme.OpWrite, fs.Base+uint64(off), dma)
+	}
+	t.release()
+	if !st.OK() {
+		return 0, fmt.Errorf("userlib: write %s at %d: %v", fs.Path, off, st)
+	}
+	if f, err := l.Proc.FDInfo(fd); err == nil {
+		f.MarkTimesDirty()
+	}
+	l.DirectOps++
+	return int(n), nil
+}
+
+// partialWrite serializes sub-sector writes to the same sectors and
+// performs read-modify-write (paper §4.5.1: "UserLib serializes
+// partial writes to the same file to avoid data inconsistencies").
+func (t *Thread) partialWrite(p *sim.Proc, fs *FileState, data []byte, off int64) (int, error) {
+	l := t.Lib
+	n := int64(len(data))
+	first := off / storage.SectorSize
+	last := (off + n - 1) / storage.SectorSize
+
+	overlaps := func() bool {
+		for s := first; s <= last; s++ {
+			if fs.partialOffsets[s] > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	for overlaps() {
+		fs.partialCond.Wait(p)
+	}
+	for s := first; s <= last; s++ {
+		fs.partialOffsets[s]++
+	}
+	defer func() {
+		for s := first; s <= last; s++ {
+			fs.partialOffsets[s]--
+			if fs.partialOffsets[s] == 0 {
+				delete(fs.partialOffsets, s)
+			}
+		}
+		fs.partialCond.Broadcast()
+	}()
+
+	alignedOff := first * storage.SectorSize
+	span := (last - first + 1) * storage.SectorSize
+	t.acquire(p)
+	defer t.release()
+	dma := t.dma[:span]
+	if st := t.doVBA(p, nvme.OpRead, fs.Base+uint64(alignedOff), dma); !st.OK() {
+		return 0, fmt.Errorf("userlib: rmw read %s: %v", fs.Path, st)
+	}
+	m := l.Proc.M
+	uStart := p.Now()
+	m.CPU.Compute(p, l.copyCost(int(n)))
+	copy(dma[off-alignedOff:], data)
+	t.UserNS += p.Now() - uStart
+	if st := t.doVBA(p, nvme.OpWrite, fs.Base+uint64(alignedOff), dma); !st.OK() {
+		return 0, fmt.Errorf("userlib: rmw write %s: %v", fs.Path, st)
+	}
+	l.DirectOps++
+	return int(n), nil
+}
+
+// Read/Write advance the shared file offset (all threads of the
+// process see a consistent view, paper §4.5.1).
+func (t *Thread) Read(p *sim.Proc, fd int, buf []byte) (int, error) {
+	fs, err := t.Lib.state(fd)
+	if err != nil {
+		return 0, err
+	}
+	n, err := t.Pread(p, fd, buf, fs.Offset)
+	fs.Offset += int64(n)
+	return n, err
+}
+
+// Write appends at the shared offset.
+func (t *Thread) Write(p *sim.Proc, fd int, data []byte) (int, error) {
+	fs, err := t.Lib.state(fd)
+	if err != nil {
+		return 0, err
+	}
+	n, err := t.Pwrite(p, fd, data, fs.Offset)
+	fs.Offset += int64(n)
+	return n, err
+}
+
+// Fsync flushes the thread's queues (NVMe flush) for durability, then
+// lets the kernel flush file metadata (paper Table 3).
+func (t *Thread) Fsync(p *sim.Proc, fd int) error {
+	t.acquire(p)
+	t.cid++
+	if err := t.q.Submit(nvme.SQE{Opcode: nvme.OpFlush, CID: t.cid}); err != nil {
+		t.release()
+		return err
+	}
+	m := t.Lib.Proc.M
+	for {
+		if c, ok := t.q.PopCQE(); ok {
+			if !c.Status.OK() {
+				t.release()
+				return fmt.Errorf("userlib: flush: %v", c.Status)
+			}
+			break
+		}
+		m.CPU.BusyWait(p, t.q.CQReady)
+	}
+	t.release()
+	return t.Lib.Proc.Fsync(p, fd)
+}
+
+// Close forwards to the kernel, which detaches the file tables.
+func (l *Lib) Close(p *sim.Proc, fd int) error {
+	delete(l.files, fd)
+	return l.Proc.Close(p, fd)
+}
+
+// OptimizedAppend implements §5.1: preallocate blocks with
+// fallocate() in large chunks, then issue the append as a userspace
+// overwrite into the preallocated region.
+func (t *Thread) OptimizedAppend(p *sim.Proc, fd int, data []byte, chunk int64) (int, error) {
+	l := t.Lib
+	fs, err := l.state(fd)
+	if err != nil {
+		return 0, err
+	}
+	if !fs.Direct() {
+		return t.Write(p, fd, data)
+	}
+	end := fs.Offset + int64(len(data))
+	if f, err := l.Proc.FDInfo(fd); err == nil && end > f.Size() {
+		target := (end + chunk - 1) / chunk * chunk
+		if err := l.Proc.Fallocate(p, fd, target); err != nil {
+			return 0, err
+		}
+		fs.Size = target
+	} else if end > fs.Size {
+		fs.Size = end
+	}
+	n, err := t.Pwrite(p, fd, data, fs.Offset)
+	fs.Offset += int64(n)
+	return n, err
+}

@@ -1,0 +1,205 @@
+// Package ycsb generates YCSB workloads A-F (Cooper et al.), the
+// request streams driving the paper's WiredTiger and KVell
+// experiments (Figs. 13, 14, 16). The zipfian generator follows the
+// standard YCSB implementation (Gray et al.'s algorithm with
+// theta = 0.99 and scrambled key order).
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// OpType is a workload operation kind.
+type OpType int
+
+// Operation kinds.
+const (
+	Read OpType = iota
+	Update
+	Insert
+	Scan
+	ReadModifyWrite
+)
+
+func (t OpType) String() string {
+	switch t {
+	case Read:
+		return "read"
+	case Update:
+		return "update"
+	case Insert:
+		return "insert"
+	case Scan:
+		return "scan"
+	case ReadModifyWrite:
+		return "rmw"
+	default:
+		return fmt.Sprintf("op(%d)", int(t))
+	}
+}
+
+// Op is one generated request.
+type Op struct {
+	Type    OpType
+	Key     uint64
+	ScanLen int
+}
+
+// Dist selects the request distribution.
+type Dist string
+
+// Distributions.
+const (
+	Zipfian Dist = "zipfian"
+	Uniform Dist = "uniform"
+	Latest  Dist = "latest"
+)
+
+// Workload is a YCSB operation mix.
+type Workload struct {
+	Name       string
+	ReadProp   float64
+	UpdateProp float64
+	InsertProp float64
+	ScanProp   float64
+	RMWProp    float64
+	Dist       Dist
+	MaxScanLen int
+}
+
+// The six core workloads.
+var (
+	A = Workload{Name: "A", ReadProp: 0.5, UpdateProp: 0.5, Dist: Zipfian}
+	B = Workload{Name: "B", ReadProp: 0.95, UpdateProp: 0.05, Dist: Zipfian}
+	C = Workload{Name: "C", ReadProp: 1.0, Dist: Zipfian}
+	D = Workload{Name: "D", ReadProp: 0.95, InsertProp: 0.05, Dist: Latest}
+	E = Workload{Name: "E", ScanProp: 0.95, InsertProp: 0.05, Dist: Zipfian, MaxScanLen: 100}
+	F = Workload{Name: "F", ReadProp: 0.5, RMWProp: 0.5, Dist: Zipfian}
+)
+
+// Workloads maps names to definitions.
+var Workloads = map[string]Workload{
+	"A": A, "B": B, "C": C, "D": D, "E": E, "F": F,
+}
+
+const theta = 0.99
+
+// zipfGen samples ranks in [0, n) with zipfian skew (YCSB
+// parameters).
+type zipfGen struct {
+	n     uint64
+	zetan float64
+	zeta2 float64
+	alpha float64
+	eta   float64
+}
+
+func zeta(n uint64, th float64) float64 {
+	var sum float64
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), th)
+	}
+	return sum
+}
+
+func newZipf(n uint64) *zipfGen {
+	z := &zipfGen{n: n}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func (z *zipfGen) next(rng *rand.Rand) uint64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, theta) {
+		return 1
+	}
+	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// fnv64 scrambles ranks so hot keys spread over the key space.
+func fnv64(x uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= 1099511628211
+		x >>= 8
+	}
+	return h
+}
+
+// Generator produces a deterministic request stream.
+type Generator struct {
+	wl      Workload
+	rng     *rand.Rand
+	zipf    *zipfGen
+	records uint64 // grows with inserts
+}
+
+// NewGenerator creates a generator over records existing keys.
+func NewGenerator(wl Workload, records uint64, seed int64) *Generator {
+	if records == 0 {
+		panic("ycsb: empty key space")
+	}
+	g := &Generator{
+		wl:      wl,
+		rng:     rand.New(rand.NewSource(seed)),
+		records: records,
+	}
+	if wl.Dist == Zipfian || wl.Dist == Latest {
+		g.zipf = newZipf(records)
+	}
+	return g
+}
+
+// Records reports the current key-space size (grows on inserts).
+func (g *Generator) Records() uint64 { return g.records }
+
+// nextKey samples a key for read-like operations.
+func (g *Generator) nextKey() uint64 {
+	switch g.wl.Dist {
+	case Uniform:
+		return uint64(g.rng.Int63n(int64(g.records)))
+	case Latest:
+		// Most popular = most recently inserted.
+		r := g.zipf.next(g.rng)
+		if r >= g.records {
+			r = g.records - 1
+		}
+		return g.records - 1 - r
+	default: // zipfian, scrambled
+		return fnv64(g.zipf.next(g.rng)) % g.records
+	}
+}
+
+// Next produces the next operation.
+func (g *Generator) Next() Op {
+	p := g.rng.Float64()
+	wl := g.wl
+	switch {
+	case p < wl.ReadProp:
+		return Op{Type: Read, Key: g.nextKey()}
+	case p < wl.ReadProp+wl.UpdateProp:
+		return Op{Type: Update, Key: g.nextKey()}
+	case p < wl.ReadProp+wl.UpdateProp+wl.RMWProp:
+		return Op{Type: ReadModifyWrite, Key: g.nextKey()}
+	case p < wl.ReadProp+wl.UpdateProp+wl.RMWProp+wl.ScanProp:
+		ln := 1
+		if wl.MaxScanLen > 1 {
+			ln = 1 + g.rng.Intn(wl.MaxScanLen)
+		}
+		return Op{Type: Scan, Key: g.nextKey(), ScanLen: ln}
+	default:
+		k := g.records
+		g.records++
+		return Op{Type: Insert, Key: k}
+	}
+}
