@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race vet bench check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The experiments package is where sweep cells and whole experiments
+# fan out to goroutines; run it under the race detector.
+race:
+	$(GO) test -race ./internal/experiments/...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+# check is the default gate: build, vet, full tests, and the race
+# exercise over the parallel runner.
+check: build vet test race
+
+clean:
+	$(GO) clean ./...

@@ -8,10 +8,17 @@ package bypassd
 // metric alongside Go's usual timings.
 
 import (
+	"flag"
 	"testing"
 
 	"repro/internal/experiments"
 )
+
+// benchParallel fans each experiment's sweep cells out to this many
+// goroutines (the harness renders in sweep order, so results are
+// unchanged — only wall time moves). Named bench.parallel because the
+// testing package owns -parallel.
+var benchParallel = flag.Int("bench.parallel", 1, "sweep-cell parallelism for experiment benchmarks")
 
 func benchExperiment(b *testing.B, id string) {
 	e, ok := experiments.ByID(id)
@@ -20,7 +27,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		rep, err := e.Run(experiments.Options{Quick: true, Seed: int64(i) + 1})
+		rep, err := e.Run(experiments.Options{Quick: true, Seed: int64(i) + 1, Parallelism: *benchParallel})
 		if err != nil {
 			b.Fatalf("%s: %v", id, err)
 		}

@@ -3,27 +3,56 @@
 //	bypassd-bench                 # run everything, quick scale
 //	bypassd-bench -full           # paper-scale sweeps (minutes)
 //	bypassd-bench -run F6,F9      # selected experiments
+//	bypassd-bench -j 8            # run experiments and sweep cells in parallel
 //	bypassd-bench -list           # show the experiment index
 //	bypassd-bench -o results.md   # also write a markdown report
+//	bypassd-bench -json run.json  # machine-readable per-experiment results
+//
+// Reports go to stdout in the experiments' registered order and are
+// byte-identical at any -j value; progress and timing lines go to
+// stderr so that `bypassd-bench -j 8 > out` equals `-j 1 > out`.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
 )
 
+// jsonResult is one experiment's machine-readable outcome.
+type jsonResult struct {
+	ID       string  `json:"id"`
+	Title    string  `json:"title"`
+	Headline string  `json:"headline,omitempty"`
+	WallMS   float64 `json:"wall_ms"`
+	Err      string  `json:"err,omitempty"`
+}
+
+// jsonRun is the -json output: run metadata plus per-experiment rows.
+type jsonRun struct {
+	Mode        string       `json:"mode"`
+	Seed        int64        `json:"seed"`
+	Parallelism int          `json:"parallelism"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	TotalWallMS float64      `json:"total_wall_ms"`
+	Results     []jsonResult `json:"results"`
+}
+
 func main() {
 	var (
-		runList = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
-		full    = flag.Bool("full", false, "paper-scale sweeps instead of quick mode")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		out     = flag.String("o", "", "also write the combined report to this file")
+		runList  = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		full     = flag.Bool("full", false, "paper-scale sweeps instead of quick mode")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		parallel = flag.Int("j", 1, "worker count for experiments and sweep cells; 0 = GOMAXPROCS")
+		out      = flag.String("o", "", "also write the combined report to this file")
+		jsonOut  = flag.String("json", "", "write machine-readable results to this file")
 	)
 	flag.Parse()
 
@@ -34,46 +63,100 @@ func main() {
 		return
 	}
 
-	var ids []string
-	if *runList == "all" {
-		ids = experiments.IDs()
-	} else {
-		ids = strings.Split(*runList, ",")
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 
-	opts := experiments.Options{Quick: !*full, Seed: *seed}
-	var combined strings.Builder
+	var exps []experiments.Experiment
+	bad := 0
+	if *runList == "all" {
+		exps = experiments.All()
+	} else {
+		for _, id := range strings.Split(*runList, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+				bad++
+				continue
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	opts := experiments.Options{Quick: !*full, Seed: *seed, Parallelism: workers}
 	mode := "quick"
 	if *full {
 		mode = "full (paper-scale)"
 	}
-	fmt.Fprintf(&combined, "# BypassD reproduction results (%s mode)\n\n", mode)
 
-	failed := 0
-	for _, id := range ids {
-		id = strings.TrimSpace(id)
-		e, ok := experiments.ByID(id)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+	runner := &experiments.Runner{
+		Parallelism: workers,
+		OnStart: func(e experiments.Experiment) {
+			fmt.Fprintf(os.Stderr, "== running %s: %s\n", e.ID, e.Title)
+		},
+		OnDone: func(r experiments.RunResult) {
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "== %s failed after %.1fs: %v\n", r.Experiment.ID, r.Wall.Seconds(), r.Err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "== %s done (wall time %.1fs)\n", r.Experiment.ID, r.Wall.Seconds())
+		},
+	}
+	start := time.Now()
+	results := runner.Run(exps, opts)
+	total := time.Since(start)
+
+	var combined strings.Builder
+	fmt.Fprintf(&combined, "# BypassD reproduction results (%s mode)\n\n", mode)
+	failed := bad
+	for _, r := range results {
+		if r.Err != nil {
 			failed++
 			continue
 		}
-		fmt.Printf("== running %s: %s\n", e.ID, e.Title)
-		start := time.Now()
-		rep, err := e.Run(opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
-			failed++
-			continue
-		}
-		fmt.Printf("%s(wall time %.1fs)\n\n", rep.String(), time.Since(start).Seconds())
-		combined.WriteString(rep.String())
+		fmt.Print(r.Report.String())
+		fmt.Println()
+		combined.WriteString(r.Report.String())
 		combined.WriteString("\n")
 	}
+	fmt.Fprintf(os.Stderr, "== total wall time %.1fs (%d experiments, -j %d)\n",
+		total.Seconds(), len(results), workers)
 
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(combined.String()), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "write %s: %v\n", *out, err)
+			failed++
+		}
+	}
+	if *jsonOut != "" {
+		run := jsonRun{
+			Mode:        mode,
+			Seed:        *seed,
+			Parallelism: workers,
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			TotalWallMS: float64(total.Microseconds()) / 1000,
+		}
+		for _, r := range results {
+			jr := jsonResult{
+				ID:     r.Experiment.ID,
+				Title:  r.Experiment.Title,
+				WallMS: float64(r.Wall.Microseconds()) / 1000,
+			}
+			if r.Err != nil {
+				jr.Err = r.Err.Error()
+			} else {
+				jr.Headline = r.Report.Headline()
+			}
+			run.Results = append(run.Results, jr)
+		}
+		data, err := json.MarshalIndent(run, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonOut, err)
 			failed++
 		}
 	}

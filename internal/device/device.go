@@ -131,6 +131,12 @@ type SSD struct {
 	stopped bool
 	claimer string
 
+	// segFree recycles per-command segment buffers between serve
+	// invocations so the resolve→moveData path allocates nothing in
+	// steady state. Safe without locks: the simulation runs exactly
+	// one goroutine at a time.
+	segFree [][]iommu.Segment
+
 	// window offsets every media sector: non-zero for an SR-IOV-style
 	// virtual function carved out of a parent device (§5.2).
 	window int64
@@ -364,6 +370,7 @@ func (d *SSD) serve(p *sim.Proc, cmd command) {
 			p.Sleep(svc)
 		}
 		status = d.moveData(e, segs)
+		d.putSegs(segs)
 
 	default:
 		status = nvme.StatusInvalidField
@@ -379,42 +386,66 @@ func (d *SSD) serve(p *sim.Proc, cmd command) {
 	d.complete(cmd, status)
 }
 
+// getSegs returns an empty segment buffer, reusing a retired one when
+// available.
+func (d *SSD) getSegs() []iommu.Segment {
+	if n := len(d.segFree); n > 0 {
+		s := d.segFree[n-1]
+		d.segFree = d.segFree[:n-1]
+		return s[:0]
+	}
+	return make([]iommu.Segment, 0, 4)
+}
+
+// putSegs retires a segment buffer handed out by resolve.
+func (d *SSD) putSegs(s []iommu.Segment) {
+	if cap(s) > 0 {
+		d.segFree = append(d.segFree, s[:0])
+	}
+}
+
 // resolve produces the sector segments for a command, translating
 // VBAs through the IOMMU when needed. The PASID comes from the queue
 // the command arrived on, never from the (untrusted) SQE itself. It
-// returns the translation latency the device must account for.
+// returns the translation latency the device must account for. The
+// returned segments borrow a recycled buffer; the caller releases it
+// with putSegs when the command retires.
 func (d *SSD) resolve(e nvme.SQE, pasid uint32) ([]iommu.Segment, sim.Time, nvme.Status) {
 	if !e.UseVBA {
 		if e.SLBA < 0 || e.SLBA+e.Sectors > d.Sectors() {
 			return nil, 0, nvme.StatusLBAOutOfRange
 		}
-		return []iommu.Segment{{Sector: d.window + e.SLBA, Sectors: e.Sectors}}, 0, nvme.StatusSuccess
+		return append(d.getSegs(), iommu.Segment{Sector: d.window + e.SLBA, Sectors: e.Sectors}), 0, nvme.StatusSuccess
 	}
 	if d.mmu == nil {
 		return nil, 0, nvme.StatusInvalidField
 	}
-	r := d.mmu.Translate(iommu.Request{
+	buf := d.getSegs()
+	r := d.mmu.TranslateInto(iommu.Request{
 		PASID: pasid,
 		DevID: d.cfg.DevID,
 		VBA:   e.VBA,
 		Bytes: e.Sectors * storage.SectorSize,
 		Write: e.Opcode != nvme.OpRead,
-	})
+	}, buf)
 	switch r.Status {
 	case iommu.OK:
 		// Translated addresses are device-relative (a guest's LBA
-		// space); bound them to this function's window, then shift.
-		out := make([]iommu.Segment, len(r.Segments))
+		// space); bound them to this function's window, then shift in
+		// place.
 		for i, s := range r.Segments {
 			if s.Sector < 0 || s.Sector+s.Sectors > d.Sectors() {
+				d.putSegs(r.Segments)
 				return nil, r.Latency, nvme.StatusLBAOutOfRange
 			}
-			out[i] = iommu.Segment{Sector: d.window + s.Sector, Sectors: s.Sectors}
+			r.Segments[i].Sector = d.window + s.Sector
 		}
-		return out, r.Latency, nvme.StatusSuccess
+		return r.Segments, r.Latency, nvme.StatusSuccess
 	case iommu.Denied:
+		d.putSegs(buf)
 		return nil, r.Latency, nvme.StatusAccessDenied
 	default:
+		d.putSegs(buf)
 		return nil, r.Latency, nvme.StatusTranslationFault
 	}
 }

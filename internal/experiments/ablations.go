@@ -25,23 +25,31 @@ func runA1(o Options) (*Report, error) {
 	if o.Quick {
 		ops = 60
 	}
-	tb := stats.NewTable("A1: 4KB random read with and without FTE caching",
-		"FTE caching", "latency (µs)", "bandwidth (GB/s)")
-	for _, caching := range []bool{false, true} {
+	variants := []bool{false, true}
+	type point struct{ lat, bw float64 }
+	points, err := sweepMap(o, len(variants), func(i int) (point, error) {
 		// A 1 MiB working set fits the 256-entry IOTLB, giving the
 		// caching variant its best case.
-		res, err := fio.Run(fio.Spec{VBAFixedLatency: -1, CacheFTEs: caching, Seed: o.Seed}, []fio.Group{{
+		res, err := fio.Run(fio.Spec{VBAFixedLatency: -1, CacheFTEs: variants[i], Seed: o.Seed}, []fio.Group{{
 			Name: "m", Engine: core.EngineBypassD, BS: 4096, Threads: 1,
 			OpsPerThread: ops, FileBytes: 1 << 20,
 		}})
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
+		return point{res["m"].Lat.Mean().Micros(), res["m"].Bandwidth() / 1e9}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("A1: 4KB random read with and without FTE caching",
+		"FTE caching", "latency (µs)", "bandwidth (GB/s)")
+	for i, caching := range variants {
 		label := "off (paper default)"
 		if caching {
 			label = "on"
 		}
-		tb.AddRow(label, res["m"].Lat.Mean().Micros(), res["m"].Bandwidth()/1e9)
+		tb.AddRow(label, points[i].lat, points[i].bw)
 	}
 	return &Report{ID: "A1", Title: "IOTLB FTE caching", Tables: []*stats.Table{tb},
 		Notes: []string{"difference is small: caching FTEs in the IOTLB is not critical (paper §6.3)"}}, nil
@@ -55,18 +63,29 @@ func runA2(o Options) (*Report, error) {
 		ops = 50
 	}
 	const threads = 8
+	variants := []bool{false, true}
+	type point struct {
+		lat  sim.Time
+		iops float64
+	}
+	points, err := sweepMap(o, len(variants), func(i int) (point, error) {
+		lat, iops, err := runSharedQueues(o, variants[i], threads, ops)
+		if err != nil {
+			return point{}, err
+		}
+		return point{lat, iops}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	tb := stats.NewTable("A2: 4KB reads, 8 threads: per-thread vs shared queue pairs",
 		"queues", "latency (µs)", "IOPS (K)")
-	for _, shared := range []bool{false, true} {
-		lat, iops, err := runSharedQueues(o, shared, threads, ops)
-		if err != nil {
-			return nil, err
-		}
+	for i, shared := range variants {
 		label := "per-thread (paper design)"
 		if shared {
 			label = "one shared + lock"
 		}
-		tb.AddRow(label, lat.Micros(), iops/1000)
+		tb.AddRow(label, points[i].lat.Micros(), points[i].iops/1000)
 	}
 	return &Report{ID: "A2", Title: "queue-per-thread ablation", Tables: []*stats.Table{tb},
 		Notes: []string{"sharing queues serializes the data path and inflates latency (paper §6.3 scaling rationale)"}}, nil
@@ -170,12 +189,12 @@ func runA3(o Options) (*Report, error) {
 	if o.Quick {
 		appends = 100
 	}
-	tb := stats.NewTable("A3: 4KB append latency",
-		"strategy", "mean latency (µs)")
-	for _, strategy := range []string{"kernel", "optimized", "relink"} {
+	strategies := []string{"kernel", "optimized", "relink"}
+	lats, err := sweepMap(o, len(strategies), func(ci int) (sim.Time, error) {
+		strategy := strategies[ci]
 		sys, err := core.New(1 << 30)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		hist := stats.NewHistogram()
 		var runErr error
@@ -227,14 +246,22 @@ func runA3(o Options) (*Report, error) {
 		sys.Sim.Run()
 		sys.Sim.Shutdown()
 		if runErr != nil {
-			return nil, runErr
+			return 0, runErr
 		}
+		return hist.Mean(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("A3: 4KB append latency",
+		"strategy", "mean latency (µs)")
+	for i, strategy := range strategies {
 		label := map[string]string{
 			"kernel":    "kernel appends (paper default)",
 			"optimized": "fallocate + userspace overwrites (§5.1)",
 			"relink":    "staging file + relink (SplitFS-style, §5.1)",
 		}[strategy]
-		tb.AddRow(label, hist.Mean().Micros())
+		tb.AddRow(label, lats[i].Micros())
 	}
 	return &Report{ID: "A3", Title: "append strategies", Tables: []*stats.Table{tb},
 		Notes: []string{"preallocation turns most appends into direct userspace overwrites"}}, nil
@@ -246,18 +273,21 @@ func runA4(o Options) (*Report, error) {
 	if o.Quick {
 		ops = 60
 	}
+	variants := []bool{false, true}
+	lats, err := sweepMap(o, len(variants), func(i int) (sim.Time, error) {
+		return runA4Once(o, variants[i], ops)
+	})
+	if err != nil {
+		return nil, err
+	}
 	tb := stats.NewTable("A4: 4KB overwrite latency vs write-translation handling",
 		"write translation", "latency (µs)")
-	for _, serialize := range []bool{false, true} {
-		lat, err := runA4Once(o, serialize, ops)
-		if err != nil {
-			return nil, err
-		}
+	for i, serialize := range variants {
 		label := "overlapped with transfer (paper design)"
 		if serialize {
 			label = "serialized before transfer"
 		}
-		tb.AddRow(label, lat.Micros())
+		tb.AddRow(label, lats[i].Micros())
 	}
 	return &Report{ID: "A4", Title: "write translation overlap", Tables: []*stats.Table{tb},
 		Notes: []string{"overlap hides the full VBA translation on the write path (paper §4.3)"}}, nil
@@ -413,12 +443,13 @@ func runA6(o Options) (*Report, error) {
 		size = 64 << 20
 		reads = 60
 	}
-	tb := stats.NewTable("A6: translation structure for a large file",
-		"structure", "cold fmap (µs)", "4KB read latency (µs)")
-	for _, extent := range []bool{false, true} {
+	variants := []bool{false, true}
+	type point struct{ fmapT, lat sim.Time }
+	points, err := sweepMap(o, len(variants), func(ci int) (point, error) {
+		extent := variants[ci]
 		sys, err := core.New(size*2 + (256 << 20))
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		var fmapT sim.Time
 		var lat sim.Time
@@ -470,13 +501,21 @@ func runA6(o Options) (*Report, error) {
 		sys.Sim.Run()
 		sys.Sim.Shutdown()
 		if runErr != nil {
-			return nil, runErr
+			return point{}, runErr
 		}
+		return point{fmapT, lat}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("A6: translation structure for a large file",
+		"structure", "cold fmap (µs)", "4KB read latency (µs)")
+	for i, extent := range variants {
 		label := "page-table FTEs (paper design)"
 		if extent {
 			label = "IOMMU extent table (§5.1 alternative)"
 		}
-		tb.AddRow(label, fmapT.Micros(), lat.Micros())
+		tb.AddRow(label, points[i].fmapT.Micros(), points[i].lat.Micros())
 	}
 	return &Report{ID: "A6", Title: "translation structures", Tables: []*stats.Table{tb},
 		Notes: []string{"extent tables make fmap O(extents); reads stay within ~100ns of the FTE walk"}}, nil

@@ -152,20 +152,39 @@ func runF13(o Options) (*Report, error) {
 	dataBytes := int64(keys/uint64OfLeafCap()) * wtiger.PageSize * 12 / 10
 	cache := int64(float64(dataBytes) * frac)
 
-	tb := stats.NewTable("Fig. 13: WiredTiger YCSB throughput (Kops/s)",
-		"workload", "threads", "sync", "xrp", "bypassd")
+	type cell struct {
+		wl  ycsb.Workload
+		n   int
+		sys string
+	}
+	var cells []cell
 	for _, wl := range workloads {
 		for _, n := range threads {
-			row := []interface{}{wl.Name, n}
 			for _, sysName := range wtSystems {
-				kops, err := runWT(o, sysName, wl, n, keys, cache, ops)
-				if err != nil {
-					return nil, fmt.Errorf("F13 %s/%s/%d: %w", wl.Name, sysName, n, err)
-				}
-				row = append(row, kops)
+				cells = append(cells, cell{wl, n, sysName})
 			}
-			tb.AddRow(row...)
 		}
+	}
+	kops, err := sweepMap(o, len(cells), func(i int) (float64, error) {
+		c := cells[i]
+		k, err := runWT(o, c.sys, c.wl, c.n, keys, cache, ops)
+		if err != nil {
+			return 0, fmt.Errorf("F13 %s/%s/%d: %w", c.wl.Name, c.sys, c.n, err)
+		}
+		return k, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("Fig. 13: WiredTiger YCSB throughput (Kops/s)",
+		"workload", "threads", "sync", "xrp", "bypassd")
+	for i := 0; i < len(cells); i += len(wtSystems) {
+		c := cells[i]
+		row := []interface{}{c.wl.Name, c.n}
+		for j := range wtSystems {
+			row = append(row, kops[i+j])
+		}
+		tb.AddRow(row...)
 	}
 	return &Report{ID: "F13", Title: "WiredTiger scaling", Tables: []*stats.Table{tb},
 		Notes: []string{
@@ -189,21 +208,37 @@ func runF14(o Options) (*Report, error) {
 		labels = labels[:2]
 	}
 
-	tb := stats.NewTable("Fig. 14: WiredTiger single-thread throughput vs cache size (normalized to sync)",
-		"workload", "cache", "sync", "xrp", "bypassd")
+	type cell struct {
+		wl    ycsb.Workload
+		label string
+		cache int64
+		sys   string
+	}
+	var cells []cell
 	for _, wl := range workloads {
 		for i, frac := range fracs {
 			cache := int64(float64(dataBytes) * frac)
-			var abs [3]float64
-			for j, sysName := range wtSystems {
-				kops, err := runWT(o, sysName, wl, 1, keys, cache, ops)
-				if err != nil {
-					return nil, fmt.Errorf("F14 %s/%s: %w", wl.Name, sysName, err)
-				}
-				abs[j] = kops
+			for _, sysName := range wtSystems {
+				cells = append(cells, cell{wl, labels[i], cache, sysName})
 			}
-			tb.AddRow(wl.Name, labels[i], 1.0, abs[1]/abs[0], abs[2]/abs[0])
 		}
+	}
+	kops, err := sweepMap(o, len(cells), func(i int) (float64, error) {
+		c := cells[i]
+		k, err := runWT(o, c.sys, c.wl, 1, keys, c.cache, ops)
+		if err != nil {
+			return 0, fmt.Errorf("F14 %s/%s: %w", c.wl.Name, c.sys, err)
+		}
+		return k, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("Fig. 14: WiredTiger single-thread throughput vs cache size (normalized to sync)",
+		"workload", "cache", "sync", "xrp", "bypassd")
+	for i := 0; i < len(cells); i += len(wtSystems) {
+		c := cells[i]
+		tb.AddRow(c.wl.Name, c.label, 1.0, kops[i+1]/kops[i], kops[i+2]/kops[i])
 	}
 	return &Report{ID: "F14", Title: "cache sensitivity", Tables: []*stats.Table{tb},
 		Notes: []string{"xrp's edge shrinks as the cache grows; bypassd improves every I/O regardless of cache size"}}, nil
@@ -327,16 +362,32 @@ func runF15(o Options) (*Report, error) {
 		ops = 80
 	}
 	modes := []string{"sync", "xrp", "spdk", "bypassd"}
-	tb := stats.NewTable("Fig. 15: BPF-KV lookup latency (7 I/Os per lookup)",
-		"threads", "system", "avg (µs)", "p99.9 (µs)")
+	type cell struct {
+		n    int
+		mode string
+	}
+	var cells []cell
 	for _, n := range threads {
 		for _, m := range modes {
-			avg, p999, err := runBPFKV(o, m, n, objects, ops)
-			if err != nil {
-				return nil, fmt.Errorf("F15 %s/%d: %w", m, n, err)
-			}
-			tb.AddRow(n, m, avg.Micros(), p999.Micros())
+			cells = append(cells, cell{n, m})
 		}
+	}
+	type point struct{ avg, p999 sim.Time }
+	points, err := sweepMap(o, len(cells), func(i int) (point, error) {
+		c := cells[i]
+		avg, p999, err := runBPFKV(o, c.mode, c.n, objects, ops)
+		if err != nil {
+			return point{}, fmt.Errorf("F15 %s/%d: %w", c.mode, c.n, err)
+		}
+		return point{avg, p999}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("Fig. 15: BPF-KV lookup latency (7 I/Os per lookup)",
+		"threads", "system", "avg (µs)", "p99.9 (µs)")
+	for i, c := range cells {
+		tb.AddRow(c.n, c.mode, points[i].avg.Micros(), points[i].p999.Micros())
 	}
 	return &Report{ID: "F15", Title: "BPF-KV latency", Tables: []*stats.Table{tb},
 		Notes: []string{
@@ -453,18 +504,38 @@ func runF16(o Options) (*Report, error) {
 		ops = 128
 	}
 	modes := []string{"kvell_1", "kvell_64", "bypassd"}
-	tb := stats.NewTable("Fig. 16: KVell YCSB throughput and latency",
-		"workload", "threads", "system", "Kops/s", "mean latency (µs)")
+	type cell struct {
+		wl   ycsb.Workload
+		n    int
+		mode string
+	}
+	var cells []cell
 	for _, wl := range workloads {
 		for _, n := range threads {
 			for _, m := range modes {
-				kops, lat, err := runKVell(o, m, wl, n, items, ops)
-				if err != nil {
-					return nil, fmt.Errorf("F16 %s/%s/%d: %w", wl.Name, m, n, err)
-				}
-				tb.AddRow(wl.Name, n, m, kops, lat.Micros())
+				cells = append(cells, cell{wl, n, m})
 			}
 		}
+	}
+	type point struct {
+		kops float64
+		lat  sim.Time
+	}
+	points, err := sweepMap(o, len(cells), func(i int) (point, error) {
+		c := cells[i]
+		kops, lat, err := runKVell(o, c.mode, c.wl, c.n, items, ops)
+		if err != nil {
+			return point{}, fmt.Errorf("F16 %s/%s/%d: %w", c.wl.Name, c.mode, c.n, err)
+		}
+		return point{kops, lat}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("Fig. 16: KVell YCSB throughput and latency",
+		"workload", "threads", "system", "Kops/s", "mean latency (µs)")
+	for i, c := range cells {
+		tb.AddRow(c.wl.Name, c.n, c.mode, points[i].kops, points[i].lat.Micros())
 	}
 	return &Report{ID: "F16", Title: "KVell", Tables: []*stats.Table{tb},
 		Notes: []string{

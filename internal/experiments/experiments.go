@@ -25,6 +25,13 @@ type Options struct {
 	Quick bool
 	// Seed randomizes workloads deterministically.
 	Seed int64
+	// Parallelism bounds the number of sweep cells an experiment may
+	// run concurrently (each cell boots its own simulated system).
+	// Values <= 1 run cells sequentially. Results are byte-identical
+	// at any setting: every cell is seeded from Seed plus its sweep
+	// coordinates, and rows render in sweep order after all cells
+	// finish.
+	Parallelism int
 }
 
 // Report is an experiment's output.
@@ -33,6 +40,30 @@ type Report struct {
 	Title  string
 	Tables []*stats.Table
 	Notes  []string
+}
+
+// Headline summarizes the report's first data row — the experiment's
+// leading metric — as "col=val ..." for machine-readable run logs.
+func (r *Report) Headline() string {
+	if len(r.Tables) == 0 {
+		return ""
+	}
+	t := r.Tables[0]
+	if len(t.Rows) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, c := range t.Rows[0] {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		h := ""
+		if i < len(t.Headers) {
+			h = t.Headers[i]
+		}
+		fmt.Fprintf(&b, "%s=%s", h, c)
+	}
+	return b.String()
 }
 
 // String renders the report.

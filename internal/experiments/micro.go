@@ -46,29 +46,55 @@ func microOps(quick bool) int {
 }
 
 func runF6(o Options) (*Report, error) {
-	rep := &Report{ID: "F6", Title: "single-thread latency vs bandwidth"}
+	type cell struct {
+		write bool
+		bs    int
+		eng   core.Engine
+	}
+	var cells []cell
 	for _, write := range []bool{false, true} {
-		kind := "read"
-		if write {
-			kind = "write"
-		}
-		tb := stats.NewTable(fmt.Sprintf("Fig. 6: random %s, 1 thread, QD1", kind),
-			"block size", "engine", "latency (µs)", "bandwidth (GB/s)")
 		for _, bs := range blockSizes(o.Quick) {
 			for _, e := range core.AllEngines {
-				res, err := fio.Run(fio.Spec{VBAFixedLatency: -1, Seed: o.Seed}, []fio.Group{{
-					Name: "m", Engine: e, Write: write, BS: bs, Threads: 1,
-					OpsPerThread: microOps(o.Quick), FileBytes: 64 << 20,
-				}})
-				if err != nil {
-					return nil, fmt.Errorf("F6 %s %s bs=%d: %w", kind, e, bs, err)
-				}
-				r := res["m"]
-				tb.AddRow(sizeLabel(int64(bs)), string(e),
-					r.Lat.Mean().Micros(), r.Bandwidth()/1e9)
+				cells = append(cells, cell{write, bs, e})
 			}
 		}
-		rep.Tables = append(rep.Tables, tb)
+	}
+	type point struct{ lat, bw float64 }
+	points, err := sweepMap(o, len(cells), func(i int) (point, error) {
+		c := cells[i]
+		res, err := fio.Run(fio.Spec{VBAFixedLatency: -1, Seed: o.Seed}, []fio.Group{{
+			Name: "m", Engine: c.eng, Write: c.write, BS: c.bs, Threads: 1,
+			OpsPerThread: microOps(o.Quick), FileBytes: 64 << 20,
+		}})
+		if err != nil {
+			kind := "read"
+			if c.write {
+				kind = "write"
+			}
+			return point{}, fmt.Errorf("F6 %s %s bs=%d: %w", kind, c.eng, c.bs, err)
+		}
+		r := res["m"]
+		return point{r.Lat.Mean().Micros(), r.Bandwidth() / 1e9}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{ID: "F6", Title: "single-thread latency vs bandwidth"}
+	var tb *stats.Table
+	lastWrite := false
+	for i, c := range cells {
+		if tb == nil || c.write != lastWrite {
+			kind := "read"
+			if c.write {
+				kind = "write"
+			}
+			tb = stats.NewTable(fmt.Sprintf("Fig. 6: random %s, 1 thread, QD1", kind),
+				"block size", "engine", "latency (µs)", "bandwidth (GB/s)")
+			rep.Tables = append(rep.Tables, tb)
+			lastWrite = c.write
+		}
+		tb.AddRow(sizeLabel(int64(c.bs)), string(c.eng), points[i].lat, points[i].bw)
 	}
 	rep.Notes = append(rep.Notes,
 		"expected shape: bypassd ≈ spdk (+~0.55µs reads, ~0 writes); ~30% below sync/libaio; io_uring between")
@@ -76,36 +102,52 @@ func runF6(o Options) (*Report, error) {
 }
 
 func runF7(o Options) (*Report, error) {
-	tb := stats.NewTable("Fig. 7: random read latency breakdown",
-		"block size", "system", "user (µs)", "kernel (µs)", "device (µs)", "total (µs)")
+	type cell struct {
+		bs  int
+		eng core.Engine
+	}
+	var cells []cell
 	for _, bs := range blockSizes(o.Quick) {
 		for _, e := range []core.Engine{core.EngineSync, core.EngineBypassD} {
-			res, err := fio.Run(fio.Spec{VBAFixedLatency: -1, Seed: o.Seed}, []fio.Group{{
-				Name: "m", Engine: e, BS: bs, Threads: 1,
-				OpsPerThread: microOps(o.Quick), FileBytes: 64 << 20,
-			}})
-			if err != nil {
-				return nil, err
-			}
-			r := res["m"]
-			total := r.Lat.Mean()
-			var user, kern, dev sim.Time
-			if e == core.EngineBypassD {
-				// Instrumented in UserLib: device = submit..complete
-				// (incl. VBA translation); user = the rest.
-				dev = r.DeviceNS / sim.Time(r.Ops)
-				user = total - dev
-			} else {
-				// Sync path: software layers are the calibrated
-				// constants; the rest is device time.
-				cfg := kernel.DefaultConfig()
-				kern = cfg.VFSCost + cfg.BlockLayer + cfg.DriverSubmit +
-					sim.Time((bs-1)/4096)*cfg.VFSPerPage
-				user = cfg.SyscallEnter + cfg.SyscallExit
-				dev = total - kern - user
-			}
-			tb.AddRow(sizeLabel(int64(bs)), string(e), user.Micros(), kern.Micros(), dev.Micros(), total.Micros())
+			cells = append(cells, cell{bs, e})
 		}
+	}
+	type split struct{ user, kern, dev, total sim.Time }
+	splits, err := sweepMap(o, len(cells), func(i int) (split, error) {
+		c := cells[i]
+		res, err := fio.Run(fio.Spec{VBAFixedLatency: -1, Seed: o.Seed}, []fio.Group{{
+			Name: "m", Engine: c.eng, BS: c.bs, Threads: 1,
+			OpsPerThread: microOps(o.Quick), FileBytes: 64 << 20,
+		}})
+		if err != nil {
+			return split{}, err
+		}
+		r := res["m"]
+		s := split{total: r.Lat.Mean()}
+		if c.eng == core.EngineBypassD {
+			// Instrumented in UserLib: device = submit..complete
+			// (incl. VBA translation); user = the rest.
+			s.dev = r.DeviceNS / sim.Time(r.Ops)
+			s.user = s.total - s.dev
+		} else {
+			// Sync path: software layers are the calibrated
+			// constants; the rest is device time.
+			cfg := kernel.DefaultConfig()
+			s.kern = cfg.VFSCost + cfg.BlockLayer + cfg.DriverSubmit +
+				sim.Time((c.bs-1)/4096)*cfg.VFSPerPage
+			s.user = cfg.SyscallEnter + cfg.SyscallExit
+			s.dev = s.total - s.kern - s.user
+		}
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("Fig. 7: random read latency breakdown",
+		"block size", "system", "user (µs)", "kernel (µs)", "device (µs)", "total (µs)")
+	for i, c := range cells {
+		s := splits[i]
+		tb.AddRow(sizeLabel(int64(c.bs)), string(c.eng), s.user.Micros(), s.kern.Micros(), s.dev.Micros(), s.total.Micros())
 	}
 	return &Report{ID: "F7", Title: "latency breakdown", Tables: []*stats.Table{tb},
 		Notes: []string{"bypassd 'user' is dominated by the user↔DMA copy at large blocks"}}, nil
@@ -113,28 +155,45 @@ func runF7(o Options) (*Report, error) {
 
 func runF8(o Options) (*Report, error) {
 	delays := []sim.Time{0, 350, 550, 950, 1350}
-	tb := stats.NewTable("Fig. 8: single-thread read bandwidth vs VBA translation latency",
-		"block size", "translation (ns)", "bandwidth (GB/s)")
+	type cell struct {
+		bs    int
+		delay sim.Time // -1 marks the sync reference row
+	}
+	var cells []cell
 	for _, bs := range blockSizes(o.Quick) {
 		for _, d := range delays {
-			res, err := fio.Run(fio.Spec{VBAFixedLatency: d, Seed: o.Seed}, []fio.Group{{
-				Name: "m", Engine: core.EngineBypassD, BS: bs, Threads: 1,
-				OpsPerThread: microOps(o.Quick), FileBytes: 64 << 20,
-			}})
-			if err != nil {
-				return nil, err
-			}
-			tb.AddRow(sizeLabel(int64(bs)), int64(d), res["m"].Bandwidth()/1e9)
+			cells = append(cells, cell{bs, d})
 		}
-		// sync reference
-		res, err := fio.Run(fio.Spec{VBAFixedLatency: -1, Seed: o.Seed}, []fio.Group{{
-			Name: "m", Engine: core.EngineSync, BS: bs, Threads: 1,
+		cells = append(cells, cell{bs, -1})
+	}
+	bws, err := sweepMap(o, len(cells), func(i int) (float64, error) {
+		c := cells[i]
+		g := fio.Group{
+			Name: "m", Engine: core.EngineBypassD, BS: c.bs, Threads: 1,
 			OpsPerThread: microOps(o.Quick), FileBytes: 64 << 20,
-		}})
-		if err != nil {
-			return nil, err
 		}
-		tb.AddRow(sizeLabel(int64(bs)), "sync", res["m"].Bandwidth()/1e9)
+		delay := c.delay
+		if c.delay < 0 { // sync reference
+			g.Engine = core.EngineSync
+			delay = -1
+		}
+		res, err := fio.Run(fio.Spec{VBAFixedLatency: delay, Seed: o.Seed}, []fio.Group{g})
+		if err != nil {
+			return 0, err
+		}
+		return res["m"].Bandwidth() / 1e9, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("Fig. 8: single-thread read bandwidth vs VBA translation latency",
+		"block size", "translation (ns)", "bandwidth (GB/s)")
+	for i, c := range cells {
+		if c.delay < 0 {
+			tb.AddRow(sizeLabel(int64(c.bs)), "sync", bws[i])
+		} else {
+			tb.AddRow(sizeLabel(int64(c.bs)), int64(c.delay), bws[i])
+		}
 	}
 	return &Report{ID: "F8", Title: "translation latency sensitivity", Tables: []*stats.Table{tb},
 		Notes: []string{"even at 1350ns, bypassd stays well above sync (paper Fig. 8)"}}, nil
@@ -142,27 +201,41 @@ func runF8(o Options) (*Report, error) {
 
 func runF9(o Options) (*Report, error) {
 	threads := []int{1, 2, 4, 8, 12, 16, 20, 24}
+	ops := 300
 	if o.Quick {
 		threads = []int{1, 8, 16}
+		ops = 80
+	}
+	type cell struct {
+		n   int
+		eng core.Engine
+	}
+	var cells []cell
+	for _, n := range threads {
+		for _, e := range core.AllEngines {
+			cells = append(cells, cell{n, e})
+		}
+	}
+	type point struct{ lat, iops float64 }
+	points, err := sweepMap(o, len(cells), func(i int) (point, error) {
+		c := cells[i]
+		res, err := fio.Run(fio.Spec{VBAFixedLatency: -1, Seed: o.Seed}, []fio.Group{{
+			Name: "m", Engine: c.eng, BS: 4096, Threads: c.n,
+			OpsPerThread: ops, FileBytes: 16 << 20,
+		}})
+		if err != nil {
+			return point{}, err
+		}
+		r := res["m"]
+		return point{r.Lat.Mean().Micros(), r.IOPS() / 1000}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	tb := stats.NewTable("Fig. 9: 4KB random read scaling",
 		"threads", "engine", "latency (µs)", "IOPS (K)")
-	for _, n := range threads {
-		for _, e := range core.AllEngines {
-			ops := 300
-			if o.Quick {
-				ops = 80
-			}
-			res, err := fio.Run(fio.Spec{VBAFixedLatency: -1, Seed: o.Seed}, []fio.Group{{
-				Name: "m", Engine: e, BS: 4096, Threads: n,
-				OpsPerThread: ops, FileBytes: 16 << 20,
-			}})
-			if err != nil {
-				return nil, err
-			}
-			r := res["m"]
-			tb.AddRow(n, string(e), r.Lat.Mean().Micros(), r.IOPS()/1000)
-		}
+	for i, c := range cells {
+		tb.AddRow(c.n, string(c.eng), points[i].lat, points[i].iops)
 	}
 	return &Report{ID: "F9", Title: "thread scaling", Tables: []*stats.Table{tb},
 		Notes: []string{

@@ -18,32 +18,50 @@ func init() {
 
 func runF10(o Options) (*Report, error) {
 	procs := []int{1, 2, 4, 8, 16}
+	ops := 300
 	if o.Quick {
 		procs = []int{1, 4}
+		ops = 80
 	}
 	engines := []core.Engine{core.EngineSync, core.EngineLibaio, core.EngineUring, core.EngineSPDK, core.EngineBypassD}
-	tb := stats.NewTable("Fig. 10: aggregate 4KB write bandwidth, private file per process",
-		"processes", "engine", "bandwidth (MB/s)")
+	type cell struct {
+		n   int
+		eng core.Engine
+	}
+	var cells []cell
 	for _, n := range procs {
 		for _, e := range engines {
-			ops := 300
-			if o.Quick {
-				ops = 80
+			cells = append(cells, cell{n, e})
+		}
+	}
+	type point struct {
+		bw float64
+		na bool // the paper's empty SPDK bars: no multi-process sharing
+	}
+	points, err := sweepMap(o, len(cells), func(i int) (point, error) {
+		c := cells[i]
+		res, err := fio.Run(fio.Spec{VBAFixedLatency: -1, Seed: o.Seed}, []fio.Group{{
+			Name: "w", Engine: c.eng, Write: true, BS: 4096, Threads: c.n,
+			OpsPerThread: ops, FileBytes: 16 << 20, ProcessPerThread: true,
+		}})
+		if err != nil {
+			if c.eng == core.EngineSPDK && c.n > 1 {
+				return point{na: true}, nil
 			}
-			res, err := fio.Run(fio.Spec{VBAFixedLatency: -1, Seed: o.Seed}, []fio.Group{{
-				Name: "w", Engine: e, Write: true, BS: 4096, Threads: n,
-				OpsPerThread: ops, FileBytes: 16 << 20, ProcessPerThread: true,
-			}})
-			if err != nil {
-				if e == core.EngineSPDK && n > 1 {
-					// The paper's empty SPDK bars: no multi-process
-					// sharing.
-					tb.AddRow(n, string(e), "n/a (cannot share)")
-					continue
-				}
-				return nil, err
-			}
-			tb.AddRow(n, string(e), res["w"].Bandwidth()/1e6)
+			return point{}, err
+		}
+		return point{bw: res["w"].Bandwidth() / 1e6}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("Fig. 10: aggregate 4KB write bandwidth, private file per process",
+		"processes", "engine", "bandwidth (MB/s)")
+	for i, c := range cells {
+		if points[i].na {
+			tb.AddRow(c.n, string(c.eng), "n/a (cannot share)")
+		} else {
+			tb.AddRow(c.n, string(c.eng), points[i].bw)
 		}
 	}
 	return &Report{ID: "F10", Title: "device sharing bandwidth", Tables: []*stats.Table{tb},
@@ -52,33 +70,46 @@ func runF10(o Options) (*Report, error) {
 
 func runF11(o Options) (*Report, error) {
 	readers := []int{0, 1, 2, 4, 8, 12, 16}
+	ops := 300
 	if o.Quick {
 		readers = []int{0, 4, 16}
+		ops = 80
+	}
+	type cell struct {
+		n   int
+		eng core.Engine
+	}
+	var cells []cell
+	for _, n := range readers {
+		for _, e := range []core.Engine{core.EngineSync, core.EngineBypassD} {
+			cells = append(cells, cell{n, e})
+		}
+	}
+	lats, err := sweepMap(o, len(cells), func(i int) (float64, error) {
+		c := cells[i]
+		groups := []fio.Group{{
+			Name: "fg", Engine: c.eng, BS: 4096, Threads: 1,
+			OpsPerThread: ops, FileBytes: 16 << 20, ProcessPerThread: true,
+		}}
+		if c.n > 0 {
+			groups = append(groups, fio.Group{
+				Name: "bg", Engine: core.EngineSync, BS: 4096, Threads: c.n,
+				OpsPerThread: 0, FileBytes: 16 << 20, ProcessPerThread: true,
+			})
+		}
+		res, err := fio.Run(fio.Spec{VBAFixedLatency: -1, Seed: o.Seed}, groups)
+		if err != nil {
+			return 0, err
+		}
+		return res["fg"].Lat.Mean().Micros(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	tb := stats.NewTable("Fig. 11: 4KB random read latency vs background readers",
 		"background readers", "system", "latency (µs)")
-	for _, n := range readers {
-		for _, e := range []core.Engine{core.EngineSync, core.EngineBypassD} {
-			ops := 300
-			if o.Quick {
-				ops = 80
-			}
-			groups := []fio.Group{{
-				Name: "fg", Engine: e, BS: 4096, Threads: 1,
-				OpsPerThread: ops, FileBytes: 16 << 20, ProcessPerThread: true,
-			}}
-			if n > 0 {
-				groups = append(groups, fio.Group{
-					Name: "bg", Engine: core.EngineSync, BS: 4096, Threads: n,
-					OpsPerThread: 0, FileBytes: 16 << 20, ProcessPerThread: true,
-				})
-			}
-			res, err := fio.Run(fio.Spec{VBAFixedLatency: -1, Seed: o.Seed}, groups)
-			if err != nil {
-				return nil, err
-			}
-			tb.AddRow(n, string(e), res["fg"].Lat.Mean().Micros())
-		}
+	for i, c := range cells {
+		tb.AddRow(c.n, string(c.eng), lats[i])
 	}
 	return &Report{ID: "F11", Title: "device-side fairness", Tables: []*stats.Table{tb},
 		Notes: []string{"round-robin queue arbitration keeps bypassd below sync at every load point"}}, nil

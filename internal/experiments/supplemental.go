@@ -33,15 +33,23 @@ func runS1(o Options) (*Report, error) {
 		{"z-ssd (~12µs reads)", device.ZSSD(1 << 30)},
 		{"optane (~4µs reads)", device.OptaneP5800X(1 << 30)},
 	}
+	type point struct{ syncLat, bypLat sim.Time }
+	points, err := sweepMap(o, len(devices), func(i int) (point, error) {
+		syncLat, bypLat, err := runS1Device(o, devices[i].cfg, ops)
+		if err != nil {
+			return point{}, fmt.Errorf("S1 %s: %w", devices[i].label, err)
+		}
+		return point{syncLat, bypLat}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	tb := stats.NewTable("S1: 4KB random read, sync vs bypassd, by device class",
 		"device", "sync (µs)", "bypassd (µs)", "improvement")
-	for _, d := range devices {
-		syncLat, bypLat, err := runS1Device(o, d.cfg, ops)
-		if err != nil {
-			return nil, fmt.Errorf("S1 %s: %w", d.label, err)
-		}
-		imp := 100 * (1 - float64(bypLat)/float64(syncLat))
-		tb.AddRow(d.label, syncLat.Micros(), bypLat.Micros(), fmt.Sprintf("%.0f%%", imp))
+	for i, d := range devices {
+		p := points[i]
+		imp := 100 * (1 - float64(p.bypLat)/float64(p.syncLat))
+		tb.AddRow(d.label, p.syncLat.Micros(), p.bypLat.Micros(), fmt.Sprintf("%.0f%%", imp))
 	}
 	return &Report{ID: "S1", Title: "device generality", Tables: []*stats.Table{tb},
 		Notes: []string{"the software stack is a fixed ~3.8µs tax: negligible on TLC, dominant on Optane"}}, nil

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// sweepMap evaluates fn(i) for every i in [0, n) and returns the
+// results in index order. With o.Parallelism > 1, up to that many
+// cells run concurrently, each typically booting its own simulated
+// system; determinism is unaffected because each cell derives its
+// seed from o.Seed and i, never from execution order, and the caller
+// renders the returned slice in index order.
+//
+// On error the lowest-index observed failure is returned. Cells
+// already running are not cancelled — they are short — but no new
+// cells start after a failure is observed.
+func sweepMap[T any](o Options, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	workers := o.Parallelism
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	errs := make([]error, n)
+	var failed atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

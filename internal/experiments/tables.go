@@ -161,13 +161,13 @@ func runT5(o Options) (*Report, error) {
 	if !o.Quick {
 		sizes = append(sizes, 16<<30)
 	}
-	tb := stats.NewTable("Table 5: fmap() overheads", "file size", "open (µs)", "open+warm fmap (µs)", "open+cold fmap (µs)")
-
-	for _, size := range sizes {
+	type point struct{ open, warm, cold sim.Time }
+	points, err := sweepMap(o, len(sizes), func(ci int) (point, error) {
+		size := sizes[ci]
 		capacity := size*2 + (256 << 20)
 		sys, err := core.New(capacity)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		var openT, warmT, coldT sim.Time
 		var runErr error
@@ -234,9 +234,16 @@ func runT5(o Options) (*Report, error) {
 		sys.Sim.Run()
 		sys.Sim.Shutdown()
 		if runErr != nil {
-			return nil, runErr
+			return point{}, runErr
 		}
-		tb.AddRow(sizeLabel(size), openT.Micros(), warmT.Micros(), coldT.Micros())
+		return point{openT, warmT, coldT}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("Table 5: fmap() overheads", "file size", "open (µs)", "open+warm fmap (µs)", "open+cold fmap (µs)")
+	for i, size := range sizes {
+		tb.AddRow(sizeLabel(size), points[i].open.Micros(), points[i].warm.Micros(), points[i].cold.Micros())
 	}
 	return &Report{ID: "T5", Title: "fmap() overheads", Tables: []*stats.Table{tb},
 		Notes: []string{"paper 64MB row: 1.74 / 2.76 / 85.51 µs"}}, nil

@@ -125,8 +125,13 @@ type IOMMU struct {
 	pasids  map[uint32]*pagetable.Table
 	regions []*regionMap // §5.1 extent-table mappings
 
-	iotlb     map[tlbKey]pagetable.Entry
+	iotlb map[tlbKey]pagetable.Entry
+	// tlbFIFO[tlbHead:] is the eviction queue, oldest first. Evicting
+	// advances tlbHead instead of reslicing so the backing array is
+	// reused; it is compacted once the dead prefix reaches the IOTLB
+	// capacity, keeping eviction O(1) amortized and the array bounded.
 	tlbFIFO   []tlbKey
+	tlbHead   int
 	tlbHits   int64
 	tlbMisses int64
 	faults    int64
@@ -184,7 +189,7 @@ func (u *IOMMU) InvalidateRange(pasid uint32, va uint64, bytes int64) {
 
 func (u *IOMMU) invalidate(match func(tlbKey) bool) {
 	kept := u.tlbFIFO[:0]
-	for _, k := range u.tlbFIFO {
+	for _, k := range u.tlbFIFO[u.tlbHead:] {
 		if match(k) {
 			delete(u.iotlb, k)
 		} else {
@@ -192,16 +197,23 @@ func (u *IOMMU) invalidate(match func(tlbKey) bool) {
 		}
 	}
 	u.tlbFIFO = kept
+	u.tlbHead = 0
 }
 
 func (u *IOMMU) tlbInsert(k tlbKey, e pagetable.Entry) {
 	if u.cfg.IOTLBEntries <= 0 {
 		return
 	}
-	if len(u.tlbFIFO) >= u.cfg.IOTLBEntries {
-		old := u.tlbFIFO[0]
-		u.tlbFIFO = u.tlbFIFO[1:]
+	if len(u.tlbFIFO)-u.tlbHead >= u.cfg.IOTLBEntries {
+		old := u.tlbFIFO[u.tlbHead]
+		u.tlbFIFO[u.tlbHead] = tlbKey{}
+		u.tlbHead++
 		delete(u.iotlb, old)
+		if u.tlbHead >= u.cfg.IOTLBEntries {
+			n := copy(u.tlbFIFO, u.tlbFIFO[u.tlbHead:])
+			u.tlbFIFO = u.tlbFIFO[:n]
+			u.tlbHead = 0
+		}
 	}
 	u.iotlb[k] = e
 	u.tlbFIFO = append(u.tlbFIFO, k)
@@ -211,8 +223,17 @@ func (u *IOMMU) tlbInsert(k tlbKey, e pagetable.Entry) {
 // FT, DevID and R/W checks. It never touches media. Extent-table
 // mappings (§5.1 enhancement) take precedence over page-table walks.
 func (u *IOMMU) Translate(req Request) Result {
+	return u.TranslateInto(req, nil)
+}
+
+// TranslateInto is Translate with a caller-supplied segment buffer:
+// the result's Segments reuse segs' backing array (appended from
+// segs[:0]), letting hot callers such as the device model avoid a
+// per-request allocation. Pass nil to allocate fresh.
+func (u *IOMMU) TranslateInto(req Request, segs []Segment) Result {
+	segs = segs[:0]
 	if r := u.regionFor(req.PASID, req.VBA); r != nil {
-		return u.translateRegion(r, req)
+		return u.translateRegion(r, req, segs)
 	}
 	table, ok := u.pasids[req.PASID]
 	if !ok {
@@ -227,7 +248,6 @@ func (u *IOMMU) Translate(req Request) Result {
 	lastPage := (req.VBA + uint64(req.Bytes) - 1) / pagetable.PageSize
 	nPages := int(lastPage - firstPage + 1)
 
-	var segs []Segment
 	walks, hits := 0, 0
 	remaining := req.Bytes
 	off := req.VBA % pagetable.PageSize
@@ -237,15 +257,23 @@ func (u *IOMMU) Translate(req Request) Result {
 	for pg := firstPage; pg <= lastPage; pg++ {
 		var entry pagetable.Entry
 		var effRW bool
-		key := tlbKey{req.PASID, pg}
-		if cached, ok := u.iotlb[key]; u.cfg.CacheFTEs && ok {
+		cached, inTLB := pagetable.Entry(0), false
+		if u.cfg.CacheFTEs {
+			// FTEs are only looked up in the IOTLB when caching is on
+			// (paper §4.3 keeps them out by default); with the cache
+			// off the probe is skipped entirely and TLBStats stays 0/0.
+			cached, inTLB = u.iotlb[tlbKey{req.PASID, pg}]
+		}
+		if inTLB {
 			u.tlbHits++
 			hits++
 			entry = cached
 			effRW = cached.RW()
 		} else {
-			u.tlbMisses++
 			walks++
+			if u.cfg.CacheFTEs {
+				u.tlbMisses++
+			}
 			r := table.Walk(pg * pagetable.PageSize)
 			if !r.Found || !r.Entry.FT() {
 				u.faults++
@@ -259,7 +287,7 @@ func (u *IOMMU) Translate(req Request) Result {
 				if !effRW {
 					c &^= pagetable.FlagRW
 				}
-				u.tlbInsert(key, c)
+				u.tlbInsert(tlbKey{req.PASID, pg}, c)
 			}
 		}
 		if entry.DevID() != req.DevID {

@@ -79,8 +79,9 @@ func (u *IOMMU) regionFor(pasid uint32, va uint64) *regionMap {
 	return nil
 }
 
-// translateRegion resolves a request against an extent table.
-func (u *IOMMU) translateRegion(r *regionMap, req Request) Result {
+// translateRegion resolves a request against an extent table,
+// appending segments to out (which may be a caller-reused buffer).
+func (u *IOMMU) translateRegion(r *regionMap, req Request, out []Segment) Result {
 	lookups := 0
 	lat := func() sim.Time {
 		if u.cfg.FixedVBALatency >= 0 {
@@ -115,7 +116,6 @@ func (u *IOMMU) translateRegion(r *regionMap, req Request) Result {
 		u.faults++
 		return Result{Status: Fault, Latency: lat()}
 	}
-	var out []Segment
 	for off < end {
 		i := sort.Search(len(r.segs), func(i int) bool {
 			return r.segs[i].Off+uint64(r.segs[i].Bytes) > off

@@ -1,0 +1,97 @@
+package iommu
+
+import "testing"
+
+// TestTLBStatsZeroWhenCachingOff pins the default-path behavior: with
+// CacheFTEs off (the paper's default) the IOTLB is never probed, so
+// the stats stay at zero and the hot path skips the map lookup.
+func TestTLBStatsZeroWhenCachingOff(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.CacheFTEs {
+		t.Fatal("default config should not cache FTEs")
+	}
+	u := New(cfg)
+	base := uint64(0x2000_0000_0000)
+	buildMapping(u, 1, base, []int64{80, 88, 96}, true)
+	for i := 0; i < 5; i++ {
+		for pg := 0; pg < 3; pg++ {
+			r := u.Translate(Request{PASID: 1, DevID: testDev, VBA: base + uint64(pg)*4096, Bytes: 4096})
+			if r.Status != OK {
+				t.Fatalf("unexpected fault at pg %d: %v", pg, r.Status)
+			}
+		}
+	}
+	hits, misses := u.TLBStats()
+	if hits != 0 || misses != 0 {
+		t.Fatalf("TLBStats = %d/%d with caching off, want 0/0", hits, misses)
+	}
+}
+
+// TestIOTLBRingStaysBounded drives many distinct pages through a tiny
+// IOTLB and checks that the FIFO's live window and the map never
+// exceed capacity, and that the ring's backing slice is compacted
+// rather than leaked by reslicing.
+func TestIOTLBRingStaysBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CacheFTEs = true
+	cfg.IOTLBEntries = 4
+	u := New(cfg)
+	base := uint64(0x2000_0000_0000)
+	lbas := make([]int64, 64)
+	for i := range lbas {
+		lbas[i] = int64(80 + 8*i)
+	}
+	buildMapping(u, 1, base, lbas, true)
+	for pg := 0; pg < 64; pg++ {
+		_ = u.Translate(Request{PASID: 1, DevID: testDev, VBA: base + uint64(pg)*4096, Bytes: 4096})
+		if live := len(u.tlbFIFO) - u.tlbHead; live > cfg.IOTLBEntries {
+			t.Fatalf("pg %d: live FIFO window %d > capacity %d", pg, live, cfg.IOTLBEntries)
+		}
+		if len(u.iotlb) > cfg.IOTLBEntries {
+			t.Fatalf("pg %d: iotlb map %d > capacity %d", pg, len(u.iotlb), cfg.IOTLBEntries)
+		}
+		if len(u.tlbFIFO) >= 2*cfg.IOTLBEntries {
+			t.Fatalf("pg %d: FIFO slice len %d never compacted", pg, len(u.tlbFIFO))
+		}
+	}
+	// The most recent IOTLBEntries pages must still hit.
+	hits0, _ := u.TLBStats()
+	for pg := 64 - cfg.IOTLBEntries; pg < 64; pg++ {
+		_ = u.Translate(Request{PASID: 1, DevID: testDev, VBA: base + uint64(pg)*4096, Bytes: 4096})
+	}
+	hits1, _ := u.TLBStats()
+	if int(hits1-hits0) != cfg.IOTLBEntries {
+		t.Fatalf("recent pages hit %d times, want %d", hits1-hits0, cfg.IOTLBEntries)
+	}
+}
+
+// TestTranslateIntoReusesBuffer checks the zero-alloc path: a caller
+// supplied buffer with enough capacity is used in place, and the
+// result matches a fresh Translate.
+func TestTranslateIntoReusesBuffer(t *testing.T) {
+	u := New(DefaultConfig())
+	base := uint64(0x2000_0000_0000)
+	buildMapping(u, 1, base, []int64{80, 96, 112, 128}, true)
+	req := Request{PASID: 1, DevID: testDev, VBA: base, Bytes: 4 * 4096}
+
+	fresh := u.Translate(req)
+	buf := make([]Segment, 0, 8)
+	reused := u.TranslateInto(req, buf)
+	if reused.Status != OK {
+		t.Fatalf("unexpected fault: %v", reused.Status)
+	}
+	if len(reused.Segments) == 0 || &reused.Segments[0] != &buf[:1][0] {
+		t.Fatal("TranslateInto did not use the caller's buffer")
+	}
+	if len(fresh.Segments) != len(reused.Segments) {
+		t.Fatalf("segment counts differ: %d vs %d", len(fresh.Segments), len(reused.Segments))
+	}
+	for i := range fresh.Segments {
+		if fresh.Segments[i] != reused.Segments[i] {
+			t.Fatalf("segment %d differs: %+v vs %+v", i, fresh.Segments[i], reused.Segments[i])
+		}
+	}
+	if fresh.Latency != reused.Latency {
+		t.Fatalf("latency differs: %v vs %v", fresh.Latency, reused.Latency)
+	}
+}

@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestEventHeapOrderingProperty drives the hand-rolled heap with
+// random timestamps and checks it pops in (at, seq) order.
+func TestEventHeapOrderingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := newEventHeap()
+	var want []Time
+	for i := 0; i < 500; i++ {
+		at := Time(rng.Intn(100))
+		h.push(event{at: at, seq: uint64(i)})
+		want = append(want, at)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	var lastAt Time
+	var lastSeq uint64
+	for i := 0; len(h) > 0; i++ {
+		e := h.pop()
+		if e.at != want[i] {
+			t.Fatalf("pop %d: at=%v, want %v", i, e.at, want[i])
+		}
+		if e.at == lastAt && e.seq < lastSeq {
+			t.Fatalf("pop %d: FIFO tie-break violated (seq %d after %d)", i, e.seq, lastSeq)
+		}
+		lastAt, lastSeq = e.at, e.seq
+	}
+}
+
+// TestHeapPoolRecycling runs many New/Run/Shutdown cycles and checks
+// the backing array is recycled: steady-state cycles should not grow
+// allocations per event. This is a behavioral check (the sim still
+// works across recycled heaps), not an exact alloc count.
+func TestHeapPoolRecycling(t *testing.T) {
+	for cycle := 0; cycle < 50; cycle++ {
+		s := New()
+		total := 0
+		for i := 0; i < 20; i++ {
+			i := i
+			s.Spawn("p", func(p *Proc) {
+				p.Sleep(Time(i) * Microsecond)
+				total++
+			})
+		}
+		s.Run()
+		if total != 20 {
+			t.Fatalf("cycle %d: %d/20 procs ran", cycle, total)
+		}
+		s.Shutdown()
+	}
+}

@@ -12,8 +12,8 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"sync"
 )
 
 // Time is a virtual timestamp or duration in nanoseconds.
@@ -53,23 +53,77 @@ type event struct {
 	fn  func()
 }
 
+// eventHeap is a binary min-heap ordered by (at, seq). The sift
+// routines are hand-rolled rather than going through container/heap:
+// the interface-based API boxes every pushed and popped event, which
+// dominated simulator allocations.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	q := *h
+	for i := len(q) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // release the closure
+	q = q[:n]
+	*h = q
+	for i := 0; ; {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && q.less(left, smallest) {
+			smallest = left
+		}
+		if right < n && q.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			break
+		}
+		q[i], q[smallest] = q[smallest], q[i]
+		i = smallest
+	}
+	return top
+}
+
+// heapPool recycles event-heap backing arrays across Sim instances:
+// every experiment cell boots (and shuts down) its own machine, and
+// regrowing the heap from scratch each time showed up in -benchmem.
+var heapPool = sync.Pool{}
+
+func newEventHeap() eventHeap {
+	if v := heapPool.Get(); v != nil {
+		return (*(v.(*eventHeap)))[:0]
+	}
+	return make(eventHeap, 0, 64)
+}
+
+func releaseEventHeap(h eventHeap) {
+	h = h[:cap(h)]
+	for i := range h {
+		h[i] = event{} // drop closure references before pooling
+	}
+	h = h[:0]
+	heapPool.Put(&h)
 }
 
 // procState tracks where a Proc is in its lifecycle.
@@ -118,7 +172,7 @@ type Sim struct {
 
 // New returns an empty simulation with the clock at zero.
 func New() *Sim {
-	return &Sim{yield: make(chan struct{})}
+	return &Sim{yield: make(chan struct{}), events: newEventHeap()}
 }
 
 // Now returns the current virtual time.
@@ -131,7 +185,7 @@ func (s *Sim) post(at Time, fn func()) {
 		panic(fmt.Sprintf("sim: event posted in the past (%v < %v)", at, s.now))
 	}
 	s.seq++
-	heap.Push(&s.events, event{at: at, seq: s.seq, fn: fn})
+	s.events.push(event{at: at, seq: s.seq, fn: fn})
 }
 
 // At schedules fn to run at absolute virtual time at. fn runs in
@@ -231,8 +285,8 @@ func (s *Sim) Run() {
 	}
 	s.running = true
 	defer func() { s.running = false }()
-	for s.events.Len() > 0 {
-		e := heap.Pop(&s.events).(event)
+	for len(s.events) > 0 {
+		e := s.events.pop()
 		s.now = e.at
 		e.fn()
 	}
@@ -247,8 +301,8 @@ func (s *Sim) RunUntil(t Time) int {
 	s.running = true
 	defer func() { s.running = false }()
 	n := 0
-	for s.events.Len() > 0 && s.events[0].at <= t {
-		e := heap.Pop(&s.events).(event)
+	for len(s.events) > 0 && s.events[0].at <= t {
+		e := s.events.pop()
 		s.now = e.at
 		e.fn()
 		n++
@@ -265,7 +319,10 @@ func (s *Sim) RunUntil(t Time) int {
 // functions, or Shutdown will deadlock.
 func (s *Sim) Shutdown() {
 	s.killing = true
-	s.events = nil
+	if s.events != nil {
+		releaseEventHeap(s.events)
+		s.events = nil
+	}
 	for _, p := range s.procs {
 		if p.state == procParked || p.state == procNew {
 			p.wake <- struct{}{}

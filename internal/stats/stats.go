@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/sim"
 )
@@ -202,10 +203,18 @@ func (s *Series) Rate(i int) float64 {
 
 // Table renders experiment results as aligned plain text, mirroring
 // the row/column structure of the paper's tables and figures.
+//
+// AddRow and String are safe for concurrent use, so a table shared by
+// fanned-out sweep workers cannot be corrupted — though callers who
+// need a deterministic row order (every experiment harness does)
+// should still collect per-cell results and append from one
+// goroutine.
 type Table struct {
 	Title   string
 	Headers []string
 	Rows    [][]string
+
+	mu sync.Mutex
 }
 
 // NewTable returns a table with the given title and column headers.
@@ -226,7 +235,9 @@ func (t *Table) AddRow(cells ...interface{}) {
 			row[i] = fmt.Sprintf("%v", c)
 		}
 	}
+	t.mu.Lock()
 	t.Rows = append(t.Rows, row)
+	t.mu.Unlock()
 }
 
 func formatFloat(v float64) string {
@@ -244,6 +255,8 @@ func formatFloat(v float64) string {
 
 // String renders the table.
 func (t *Table) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	widths := make([]int, len(t.Headers))
 	for i, h := range t.Headers {
 		widths[i] = len(h)

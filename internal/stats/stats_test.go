@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -154,4 +155,26 @@ func TestSeriesInvalidInterval(t *testing.T) {
 		}
 	}()
 	NewSeries(0)
+}
+
+func TestTableConcurrentAddRow(t *testing.T) {
+	tb := NewTable("c", "worker", "i")
+	var wg sync.WaitGroup
+	const workers, rows = 8, 50
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rows; i++ {
+				tb.AddRow(w, i)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tb.Rows); got != workers*rows {
+		t.Fatalf("rows = %d, want %d", got, workers*rows)
+	}
+	// Rendering under concurrent appends must not race or corrupt.
+	_ = tb.String()
 }
