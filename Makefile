@@ -1,6 +1,8 @@
 GO ?= go
+FUZZTIME ?= 10s
+FUZZ_TARGETS := FuzzExtentTree FuzzRename
 
-.PHONY: all build test race vet bench check clean
+.PHONY: all build test race vet bench fuzz check clean
 
 all: check
 
@@ -10,10 +12,11 @@ build:
 test:
 	$(GO) test ./...
 
-# The experiments package is where sweep cells and whole experiments
-# fan out to goroutines; run it under the race detector.
+# Race coverage: the experiments package fans sweep cells and whole
+# experiments out to goroutines, and the core/kernel stress tests
+# exercise the fault plane's global counters from parallel machines.
 race:
-	$(GO) test -race ./internal/experiments/...
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
@@ -21,8 +24,16 @@ vet:
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
+# fuzz runs each native fuzz target for FUZZTIME (go test -fuzz takes
+# exactly one target per invocation, hence the loop).
+fuzz:
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		echo "== fuzzing $$t ($(FUZZTIME))"; \
+		$(GO) test ./internal/ext4 -run $$t -fuzz "^$$t$$" -fuzztime $(FUZZTIME); \
+	done
+
 # check is the default gate: build, vet, full tests, and the race
-# exercise over the parallel runner.
+# detector over the whole tree.
 check: build vet test race
 
 clean:

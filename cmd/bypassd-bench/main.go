@@ -7,6 +7,7 @@
 //	bypassd-bench -list           # show the experiment index
 //	bypassd-bench -o results.md   # also write a markdown report
 //	bypassd-bench -json run.json  # machine-readable per-experiment results
+//	bypassd-bench -faults chaos   # run under a named fault-injection profile
 //
 // Reports go to stdout in the experiments' registered order and are
 // byte-identical at any -j value; progress and timing lines go to
@@ -19,10 +20,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 )
 
 // jsonResult is one experiment's machine-readable outcome.
@@ -36,12 +39,15 @@ type jsonResult struct {
 
 // jsonRun is the -json output: run metadata plus per-experiment rows.
 type jsonRun struct {
-	Mode        string       `json:"mode"`
-	Seed        int64        `json:"seed"`
-	Parallelism int          `json:"parallelism"`
-	GOMAXPROCS  int          `json:"gomaxprocs"`
-	TotalWallMS float64      `json:"total_wall_ms"`
-	Results     []jsonResult `json:"results"`
+	Mode        string           `json:"mode"`
+	Seed        int64            `json:"seed"`
+	Parallelism int              `json:"parallelism"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	TotalWallMS float64          `json:"total_wall_ms"`
+	Faults      string           `json:"faults,omitempty"`
+	FaultsTotal int64            `json:"faults_total,omitempty"`
+	FaultsBy    map[string]int64 `json:"faults_by_site,omitempty"`
+	Results     []jsonResult     `json:"results"`
 }
 
 func main() {
@@ -53,6 +59,7 @@ func main() {
 		parallel = flag.Int("j", 1, "worker count for experiments and sweep cells; 0 = GOMAXPROCS")
 		out      = flag.String("o", "", "also write the combined report to this file")
 		jsonOut  = flag.String("json", "", "write machine-readable results to this file")
+		faultsP  = flag.String("faults", "", "fault-injection profile name (see -list); empty = disabled")
 	)
 	flag.Parse()
 
@@ -60,7 +67,18 @@ func main() {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
+		fmt.Println("\nfault profiles (-faults):")
+		for _, p := range faults.Profiles() {
+			fmt.Printf("%-14s %s\n", p.Name, p.Desc)
+		}
 		return
+	}
+
+	if *faultsP != "" {
+		if _, ok := faults.ProfileByName(*faultsP); !ok {
+			fmt.Fprintf(os.Stderr, "unknown fault profile %q (try -list)\n", *faultsP)
+			os.Exit(1)
+		}
 	}
 
 	workers := *parallel
@@ -85,10 +103,13 @@ func main() {
 		}
 	}
 
-	opts := experiments.Options{Quick: !*full, Seed: *seed, Parallelism: workers}
+	opts := experiments.Options{Quick: !*full, Seed: *seed, Parallelism: workers, Faults: *faultsP}
 	mode := "quick"
 	if *full {
 		mode = "full (paper-scale)"
+	}
+	if *faultsP != "" {
+		fmt.Fprintf(os.Stderr, "== fault profile %q armed (seed %d)\n", *faultsP, *seed)
 	}
 
 	runner := &experiments.Runner{
@@ -123,6 +144,18 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "== total wall time %.1fs (%d experiments, -j %d)\n",
 		total.Seconds(), len(results), workers)
+	if *faultsP != "" {
+		counts := faults.GlobalCounts()
+		sites := make([]string, 0, len(counts))
+		for s := range counts {
+			sites = append(sites, s)
+		}
+		sort.Strings(sites)
+		fmt.Fprintf(os.Stderr, "== injected faults: %d total (profile %q)\n", faults.GlobalTotal(), *faultsP)
+		for _, s := range sites {
+			fmt.Fprintf(os.Stderr, "==   %-28s %d\n", s, counts[s])
+		}
+	}
 
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(combined.String()), 0o644); err != nil {
@@ -137,6 +170,11 @@ func main() {
 			Parallelism: workers,
 			GOMAXPROCS:  runtime.GOMAXPROCS(0),
 			TotalWallMS: float64(total.Microseconds()) / 1000,
+		}
+		if *faultsP != "" {
+			run.Faults = *faultsP
+			run.FaultsTotal = faults.GlobalTotal()
+			run.FaultsBy = faults.GlobalCounts()
 		}
 		for _, r := range results {
 			jr := jsonResult{

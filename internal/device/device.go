@@ -17,6 +17,7 @@ package device
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/iommu"
 	"repro/internal/nvme"
 	"repro/internal/sim"
@@ -140,6 +141,13 @@ type SSD struct {
 	// window offsets every media sector: non-zero for an SR-IOV-style
 	// virtual function carved out of a parent device (§5.2).
 	window int64
+
+	// inj is the machine's fault plane (nil = inert). Site names are
+	// precomputed so the served path stays allocation-free.
+	inj         *faults.Injector
+	siteMedia   string
+	siteTimeout string
+	siteDelay   string
 }
 
 // New creates a device backed by a fresh sparse store and starts its
@@ -163,9 +171,21 @@ func NewWithStore(s *sim.Sim, cfg Config, st *storage.Store) *SSD {
 		writesDrained: s.NewCond(),
 		opsByQ:        make(map[int]int64),
 	}
+	d.initSites()
 	s.Spawn(cfg.Name+"-dispatch", d.dispatch)
 	return d
 }
+
+// initSites precomputes the device's fault-site names.
+func (d *SSD) initSites() {
+	d.siteMedia = faults.DeviceSite(d.cfg.Name, faults.KindMedia)
+	d.siteTimeout = faults.DeviceSite(d.cfg.Name, faults.KindTimeout)
+	d.siteDelay = faults.DeviceSite(d.cfg.Name, faults.KindDelay)
+}
+
+// SetInjector attaches the machine's fault plane. Virtual functions
+// carved afterwards inherit it.
+func (d *SSD) SetInjector(inj *faults.Injector) { d.inj = inj }
 
 // Carve creates an SR-IOV-style virtual function: an SSD exposing the
 // sector window [baseSector, baseSector+sectors) of parent as an
@@ -191,7 +211,9 @@ func Carve(s *sim.Sim, parent *SSD, name string, devID uint8, baseSector, sector
 		writesDrained: s.NewCond(),
 		opsByQ:        make(map[int]int64),
 		window:        parent.window + baseSector,
+		inj:           parent.inj, // VFs share the machine's fault plane
 	}
+	vf.initSites()
 	s.Spawn(cfg.Name+"-dispatch", vf.dispatch)
 	return vf, nil
 }
@@ -345,6 +367,24 @@ func (d *SSD) serve(p *sim.Proc, cmd command) {
 		return
 
 	case nvme.OpRead, nvme.OpWrite, nvme.OpWriteZeroes:
+		if dl, ok := d.inj.FireDelayQ(d.siteDelay, cmd.q.ID); ok {
+			// Injected latency spike: the command still succeeds.
+			if dl == 0 {
+				dl = 50 * sim.Microsecond
+			}
+			p.Sleep(dl)
+		}
+		if dl, ok := d.inj.FireDelayQ(d.siteTimeout, cmd.q.ID); ok {
+			// Injected command timeout: the command hangs on the
+			// channel, then completes with an error and no media
+			// access, like a controller-side abort.
+			if dl == 0 {
+				dl = 500 * sim.Microsecond
+			}
+			p.Sleep(dl)
+			status = nvme.StatusCommandTimeout
+			break
+		}
 		segs, tlat, st := d.resolve(e, cmd.q.PASID)
 		if st != nvme.StatusSuccess {
 			// Translation failed: the error returns to the process
@@ -368,6 +408,14 @@ func (d *SSD) serve(p *sim.Proc, cmd command) {
 				svc = tlat
 			}
 			p.Sleep(svc)
+		}
+		if d.inj.FireQ(d.siteMedia, cmd.q.ID) {
+			// Injected media error after full service time. The
+			// transfer does not happen, so a failed write leaves the
+			// medium untouched and a retry observes a clean slate.
+			status = nvme.StatusMediaError
+			d.putSegs(segs)
+			break
 		}
 		status = d.moveData(e, segs)
 		d.putSegs(segs)

@@ -32,6 +32,11 @@ type Options struct {
 	// coordinates, and rows render in sweep order after all cells
 	// finish.
 	Parallelism int
+	// Faults names a fault-injection profile (faults.Profiles) armed
+	// for every machine the experiments boot; "" disables injection.
+	// Injector streams are seeded from Seed, so a fixed (Seed, Faults)
+	// pair replays byte-for-byte at any Parallelism.
+	Faults string
 }
 
 // Report is an experiment's output.

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// faultTestIDs is a small, fast subset of experiments that exercises
+// the userlib direct path, the kernel path, and SPDK under injection.
+var faultTestIDs = []string{"F5", "F6"}
+
+func runWithFaults(t *testing.T, id, profile string, seed int64, par int) string {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	res := (&Runner{Parallelism: 1}).Run([]Experiment{e},
+		Options{Quick: true, Seed: seed, Parallelism: par, Faults: profile})
+	if res[0].Err != nil {
+		t.Fatalf("%s under %q: %v", id, profile, res[0].Err)
+	}
+	return res[0].Report.String()
+}
+
+// TestFaultedRunsReplay is the PR's determinism criterion: with a
+// fixed seed and profile, two runs of the same experiment render
+// byte-identical reports.
+func TestFaultedRunsReplay(t *testing.T) {
+	for _, profile := range []string{"flaky-media", "revoke-storm"} {
+		for _, id := range faultTestIDs {
+			a := runWithFaults(t, id, profile, 7, 1)
+			b := runWithFaults(t, id, profile, 7, 1)
+			if a != b {
+				t.Errorf("%s under %q: two runs with the same seed differ:\n--- first ---\n%s\n--- second ---\n%s",
+					id, profile, a, b)
+			}
+		}
+	}
+}
+
+// TestFaultedRunsParallelismInvariant extends the byte-identical
+// guarantee to faulted runs: sweep-cell parallelism must not change a
+// faulted report, because each cell's machines own private injectors.
+func TestFaultedRunsParallelismInvariant(t *testing.T) {
+	for _, id := range faultTestIDs {
+		seq := runWithFaults(t, id, "chaos", 3, 1)
+		par := runWithFaults(t, id, "chaos", 3, 8)
+		if seq != par {
+			t.Errorf("%s under chaos: report differs between -j 1 and -j 8:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				id, seq, par)
+		}
+	}
+}
+
+// TestCleanRunUnaffectedByPriorFaults guards the "disabled injector is
+// structurally invisible" property: a clean run after a faulted run is
+// byte-identical to a clean run before any profile was ever armed.
+func TestCleanRunUnaffectedByPriorFaults(t *testing.T) {
+	e, ok := ByID("F6")
+	if !ok {
+		t.Fatal("F6 not registered")
+	}
+	clean := func() string {
+		res := (&Runner{Parallelism: 1}).Run([]Experiment{e},
+			Options{Quick: true, Seed: 1, Parallelism: 1})
+		if res[0].Err != nil {
+			t.Fatalf("clean run: %v", res[0].Err)
+		}
+		return res[0].Report.String()
+	}
+	before := clean()
+	faulted := runWithFaults(t, "F6", "chaos", 1, 1)
+	after := clean()
+	if before != after {
+		t.Errorf("clean report changed after a faulted run:\n--- before ---\n%s\n--- after ---\n%s", before, after)
+	}
+	if faulted == before && faults.GlobalTotal() == 0 {
+		t.Log("chaos profile injected nothing into F6 (report identical); counters also zero")
+	}
+}
+
+// TestRunUnknownFaultProfile: a typo'd profile must fail every
+// experiment rather than silently running un-faulted.
+func TestRunUnknownFaultProfile(t *testing.T) {
+	e, _ := ByID("F5")
+	res := (&Runner{Parallelism: 1}).Run([]Experiment{e},
+		Options{Quick: true, Seed: 1, Faults: "no-such-profile"})
+	if res[0].Err == nil {
+		t.Fatal("expected error for unknown profile")
+	}
+	if !strings.Contains(res[0].Err.Error(), "no-such-profile") {
+		t.Fatalf("error %q does not name the bad profile", res[0].Err)
+	}
+	if faults.ActiveName() != "" {
+		t.Fatalf("profile %q left active after failed Activate", faults.ActiveName())
+	}
+}
+
+// TestFaultCountersSurface: a profile with certain-fire rules must
+// record global counters an operator can inspect after the run.
+func TestFaultCountersSurface(t *testing.T) {
+	_ = runWithFaults(t, "F6", "flaky-media", 42, 1)
+	// Runner deactivates on return but counters persist until the next
+	// Activate resets them.
+	total := faults.GlobalTotal()
+	counts := faults.GlobalCounts()
+	if total == 0 {
+		t.Fatal("flaky-media run recorded no injected faults")
+	}
+	var sum int64
+	for _, n := range counts {
+		sum += n
+	}
+	if sum != total {
+		t.Fatalf("per-site counts sum to %d, total says %d", sum, total)
+	}
+}

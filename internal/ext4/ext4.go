@@ -19,6 +19,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -149,9 +150,16 @@ type FS struct {
 
 	journalSeq uint64
 
+	// inj is the machine's fault plane (nil = inert); it arms the
+	// journal crash points in writeTransaction.
+	inj *faults.Injector
+
 	// Stats for tests and the harness.
 	Commits int64
 }
+
+// SetInjector attaches the machine's fault plane.
+func (fs *FS) SetInjector(inj *faults.Injector) { fs.inj = inj }
 
 // Mkfs formats the medium and returns nothing; mount afterwards.
 func Mkfs(bio BlockIO, opt Options) error {

@@ -2,7 +2,9 @@ package ext4
 
 import (
 	"encoding/binary"
+	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/sim"
 )
 
@@ -157,9 +159,23 @@ func (fs *FS) stageExtentChain(in *Inode, stage func(int64) []byte) error {
 	return nil
 }
 
+// crashAt evaluates one injected journal crash point. A firing site
+// freezes the file system exactly as a power loss at that stage
+// would: the error aborts the commit, and recovery happens at the
+// next mount from whatever subset of writes reached the medium.
+func (fs *FS) crashAt(site string) error {
+	if fs.inj.Fire(site) {
+		return fmt.Errorf("%s: %w", site, ErrCrashed)
+	}
+	return nil
+}
+
 // writeTransaction logs one set of blocks, commits, checkpoints, and
 // cleans the journal.
 func (fs *FS) writeTransaction(p *sim.Proc, targets []int64, staging map[int64][]byte) error {
+	if err := fs.crashAt(faults.SiteCrashPreJournal); err != nil {
+		return err
+	}
 	fs.journalSeq++
 	le := binary.LittleEndian
 
@@ -178,6 +194,9 @@ func (fs *FS) writeTransaction(p *sim.Proc, targets []int64, staging map[int64][
 			return err
 		}
 	}
+	if err := fs.crashAt(faults.SiteCrashPreCommit); err != nil {
+		return err
+	}
 	commit := make([]byte, BlockSize)
 	le.PutUint32(commit[0:], commitMagic)
 	le.PutUint64(commit[8:], fs.journalSeq)
@@ -188,6 +207,9 @@ func (fs *FS) writeTransaction(p *sim.Proc, targets []int64, staging map[int64][
 	if err := fs.bio.Flush(p); err != nil {
 		return err
 	}
+	if err := fs.crashAt(faults.SiteCrashPostCommit); err != nil {
+		return err
+	}
 
 	for _, t := range targets {
 		if err := fs.bio.WriteBlocks(p, t, 1, staging[t]); err != nil {
@@ -195,6 +217,9 @@ func (fs *FS) writeTransaction(p *sim.Proc, targets []int64, staging map[int64][
 		}
 	}
 	if err := fs.bio.Flush(p); err != nil {
+		return err
+	}
+	if err := fs.crashAt(faults.SiteCrashPostCheckpoint); err != nil {
 		return err
 	}
 

@@ -1,8 +1,15 @@
 package ext4
 
 import (
+	"fmt"
+
 	"repro/internal/sim"
 )
+
+// ErrInvalidMove rejects renaming a directory into its own subtree
+// (POSIX EINVAL), which would orphan the directory from the namespace
+// while its blocks stay allocated.
+var ErrInvalidMove = fmt.Errorf("ext4: cannot move directory into its own subtree")
 
 // Rename moves the link at oldPath to newPath, replacing a regular
 // file at the destination if one exists (POSIX rename semantics,
@@ -40,6 +47,24 @@ func (fs *FS) Rename(p *sim.Proc, oldPath, newPath string, c Cred) error {
 	src, err := fs.GetInode(p, srcIno)
 	if err != nil {
 		return err
+	}
+	if src.IsDir() {
+		// splitPath already normalized "." and "..", so a component
+		// prefix match means newPath lies inside the moving directory.
+		oldComps, _ := splitPath(oldPath)
+		newComps, _ := splitPath(newPath)
+		if len(newComps) > len(oldComps) {
+			inside := true
+			for i, c := range oldComps {
+				if newComps[i] != c {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				return ErrInvalidMove
+			}
+		}
 	}
 
 	// A destination entry is replaced (files only).

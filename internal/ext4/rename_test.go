@@ -196,3 +196,34 @@ func TestRelinkUpdatesFileTables(t *testing.T) {
 		t.Fatal("target FTE for grafted page wrong")
 	}
 }
+
+func TestRenameIntoOwnSubtreeRejected(t *testing.T) {
+	// Found by FuzzRename: moving a directory under itself orphaned
+	// the directory while its blocks stayed allocated (fsck bitmap
+	// mismatch).
+	fs, _ := newFS(t)
+	if _, err := fs.Mkdir(nil, "/d", 0o755, Root); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Mkdir(nil, "/d/sub", 0o755, Root); err != nil {
+		t.Fatal(err)
+	}
+	for _, dst := range []string{"/d/x", "/d/sub/x", "/d/./x", "/d/sub/../sub/x"} {
+		if err := fs.Rename(nil, "/d", dst, Root); !errors.Is(err, ErrInvalidMove) {
+			t.Fatalf("Rename /d -> %s: err = %v, want ErrInvalidMove", dst, err)
+		}
+	}
+	// A sibling directory move stays legal.
+	if _, err := fs.Mkdir(nil, "/e", 0o755, Root); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(nil, "/d/sub", "/e/sub", Root); err != nil {
+		t.Fatalf("legal dir move: %v", err)
+	}
+	if err := fs.Commit(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Check(nil); err != nil {
+		t.Fatalf("fsck: %v", err)
+	}
+}

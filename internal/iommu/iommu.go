@@ -16,6 +16,7 @@ package iommu
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/pagetable"
 	"repro/internal/sim"
 	"repro/internal/storage"
@@ -136,6 +137,8 @@ type IOMMU struct {
 	tlbMisses int64
 	faults    int64
 	denials   int64
+
+	inj *faults.Injector // machine fault plane; nil = inert
 }
 
 // New returns an IOMMU with the given configuration.
@@ -156,6 +159,9 @@ func (u *IOMMU) SetFixedVBALatency(d sim.Time) { u.cfg.FixedVBALatency = d }
 // SetCacheFTEs toggles FTE caching in the IOTLB (ablation; paper
 // §4.3 argues it is unnecessary).
 func (u *IOMMU) SetCacheFTEs(on bool) { u.cfg.CacheFTEs = on }
+
+// SetInjector attaches the machine's fault plane.
+func (u *IOMMU) SetInjector(inj *faults.Injector) { u.inj = inj }
 
 // RegisterPASID binds a process page table to a PASID, as the kernel
 // driver does when creating user queue pairs (paper §3.3).
@@ -231,6 +237,35 @@ func (u *IOMMU) Translate(req Request) Result {
 // segs[:0]), letting hot callers such as the device model avoid a
 // per-request allocation. Pass nil to allocate fresh.
 func (u *IOMMU) TranslateInto(req Request, segs []Segment) Result {
+	if u.inj != nil {
+		if u.inj.Fire(faults.SiteIOMMUInvalidate) {
+			// Invalidation storm: every cached translation drops, as
+			// after a global TLB shootdown; subsequent requests walk.
+			u.invalidate(func(tlbKey) bool { return true })
+		}
+		var extra sim.Time
+		if dl, ok := u.inj.FireDelay(faults.SiteIOMMUATSDelay); ok {
+			if dl == 0 {
+				dl = 2 * sim.Microsecond
+			}
+			extra = dl // slow ATS completion on the PCIe fabric
+		}
+		if u.inj.Fire(faults.SiteIOMMUFault) {
+			// Spurious translation fault: the device sees the same
+			// response as a revocation and the submitter must
+			// refault/refmap (paper §3.6's recovery path).
+			u.faults++
+			return Result{Status: Fault, Latency: u.latency(0, 0, 1) + extra}
+		}
+		r := u.translateInto(req, segs)
+		r.Latency += extra
+		return r
+	}
+	return u.translateInto(req, segs)
+}
+
+// translateInto is the injection-free translation path.
+func (u *IOMMU) translateInto(req Request, segs []Segment) Result {
 	segs = segs[:0]
 	if r := u.regionFor(req.PASID, req.VBA); r != nil {
 		return u.translateRegion(r, req, segs)

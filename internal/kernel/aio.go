@@ -98,14 +98,15 @@ func (c *AioContext) Submit(p *sim.Proc, ops []AioOp) error {
 			bufOff := int64(0)
 			for _, s := range segs {
 				n := s.Sectors * storage.SectorSize
-				st := pr.M.kq.submitAndWait(w, nvme.SQE{
+				st := pr.M.kq.submitRetry(w, nvme.SQE{
 					Opcode:  opcode,
 					SLBA:    s.Sector,
 					Sectors: s.Sectors,
 					Buf:     op.Buf[bufOff : bufOff+n],
 				})
 				if !st.OK() {
-					bad = fmt.Errorf("kernel: aio %v: %v", opcode, st)
+					bad = fmt.Errorf("kernel: aio %v at sector %d on %s: %v",
+						opcode, s.Sector, pr.M.Dev.Config().Name, st)
 					break
 				}
 				bufOff += n

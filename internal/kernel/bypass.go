@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"repro/internal/ext4"
+	"repro/internal/faults"
 	"repro/internal/nvme"
 	"repro/internal/pagetable"
 	"repro/internal/sim"
@@ -89,8 +90,21 @@ func (pr *Process) Fmap(p *sim.Proc, fd int) (uint64, error) {
 	if m.revoked[in.Ino] || in.KernelOpens > 0 {
 		return 0, nil // VBA 0: use the kernel interface (paper §3.6)
 	}
+	if m.Faults.Fire(faults.SiteKernelFmapZero) {
+		// Injected policy denial: the kernel declines direct access
+		// this time; the caller uses the kernel interface.
+		return 0, nil
+	}
 	if f.Bypass != nil {
-		return f.Bypass.Base, nil // already mapped
+		if !f.Bypass.Revoked {
+			return f.Bypass.Base, nil // already mapped
+		}
+		// The descriptor still points at an attachment withdrawn by a
+		// Revoke; re-map instead of returning the stale (detached)
+		// base. The open-count the new attachment adds below replaces
+		// the one the dead attachment still holds.
+		f.Bypass = nil
+		in.BypassOpens--
 	}
 
 	ft, built := m.FS.FileTable(in)
@@ -227,6 +241,13 @@ func (m *Machine) invalidateMappings(in *ext4.Inode) {
 		}
 		m.MMU.InvalidateRange(att.Proc.PASID, att.Base, int64(att.Span))
 	}
+}
+
+// Restore lifts a revocation: subsequent fmap() calls may grant
+// direct access again. Existing attachments stay detached — each
+// process re-attaches on its next fault via the refmap path (§3.6).
+func (m *Machine) Restore(in *ext4.Inode) {
+	delete(m.revoked, in.Ino)
 }
 
 // Revoked reports whether direct access to the inode is currently

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/ext4"
+	"repro/internal/faults"
 	"repro/internal/iommu"
 	"repro/internal/nvme"
 	"repro/internal/sim"
@@ -71,6 +72,15 @@ type Machine struct {
 	FS  *ext4.FS
 	Cfg Config
 
+	// Faults is the machine's fault plane, built from the globally
+	// active profile at boot and shared with the device, IOMMU and
+	// file system. Nil (the untriggered default) is inert.
+	Faults *faults.Injector
+
+	// BlockRetries counts transient device errors the kernel block
+	// layer absorbed by resubmitting.
+	BlockRetries int64
+
 	kq *kernelQueue
 
 	nextPID   int
@@ -122,6 +132,9 @@ func NewMachine(s *sim.Sim, cfg Config, dcfg device.Config, st *storage.Store) (
 	m.Dev = device.NewWithStore(s, dcfg, st)
 	m.MMU = iommu.New(iommu.DefaultConfig())
 	m.Dev.AttachIOMMU(m.MMU)
+	m.Faults = faults.NewFromActive()
+	m.Dev.SetInjector(m.Faults)
+	m.MMU.SetInjector(m.Faults)
 
 	if fresh {
 		if err := ext4.Mkfs(&ext4.Direct{St: st}, ext4.DefaultOptions(dcfg.CapacityBytes, dcfg.DevID)); err != nil {
@@ -142,6 +155,7 @@ func NewMachine(s *sim.Sim, cfg Config, dcfg device.Config, st *storage.Store) (
 	}
 	m.kq = &kernelQueue{m: m, q: q, waiters: make(map[uint16]*waiter)}
 	fs.SetBlockIO(&kernelBIO{m: m})
+	fs.SetInjector(m.Faults)
 	return m, nil
 }
 
@@ -216,6 +230,21 @@ func (k *kernelQueue) submitAndWait(p *sim.Proc, e nvme.SQE) nvme.Status {
 	return w.status
 }
 
+// submitRetry is submitAndWait plus the block layer's bounded
+// resubmission of transient failures (media error, timeout); every
+// raw kernel submission path (block I/O, AIO, XRP) shares it so
+// injected device faults degrade to retries, not EIO.
+func (k *kernelQueue) submitRetry(p *sim.Proc, e nvme.SQE) nvme.Status {
+	var st nvme.Status
+	for attempt := 0; ; attempt++ {
+		st = k.submitAndWait(p, e)
+		if st.OK() || !st.Transient() || attempt >= blockRetries {
+			return st
+		}
+		k.m.BlockRetries++
+	}
+}
+
 // kernelBIO is the timed ext4.BlockIO: it charges the block layer and
 // driver costs, then performs the transfer through the device.
 type kernelBIO struct {
@@ -228,19 +257,25 @@ func (b *kernelBIO) charge(p *sim.Proc) {
 	b.m.CPU.Compute(p, b.m.Cfg.BlockLayer+b.m.Cfg.DriverSubmit)
 }
 
+// blockRetries bounds the block layer's resubmissions of a command
+// that failed with a transient status (media error, timeout) before
+// the error surfaces as EIO, matching the kernel's nvme retry path.
+const blockRetries = 3
+
 func (b *kernelBIO) io(p *sim.Proc, op nvme.Opcode, blk, n int64, buf []byte) error {
 	if p == nil {
 		panic("kernel: timed block I/O without a proc")
 	}
 	b.charge(p)
-	st := b.m.kq.submitAndWait(p, nvme.SQE{
+	st := b.m.kq.submitRetry(p, nvme.SQE{
 		Opcode:  op,
 		SLBA:    blk * ext4.SectorsPerBlock,
 		Sectors: n * ext4.SectorsPerBlock,
 		Buf:     buf,
 	})
 	if !st.OK() {
-		return fmt.Errorf("kernel: block %s at %d: %v", op, blk, st)
+		return fmt.Errorf("kernel: block %s at %d on %s queue %d: %v",
+			op, blk, b.m.Dev.Config().Name, b.m.kq.q.ID, st)
 	}
 	return nil
 }

@@ -4,8 +4,19 @@ import (
 	"fmt"
 
 	"repro/internal/ext4"
+	"repro/internal/faults"
 	"repro/internal/sim"
 )
+
+// injectRevoke evaluates the revocation-storm site on a kernel entry
+// that names an inode: when it fires, the kernel withdraws every
+// process's direct access to the file, exactly as a policy revocation
+// would (paper §3.6). UserLib recovers via refmap or falls back.
+func (pr *Process) injectRevoke(f *FD) {
+	if pr.M.Faults.Fire(faults.SiteKernelRevoke) {
+		pr.M.Revoke(f.Ino)
+	}
+}
 
 // pages returns the page count of an I/O for the per-page VFS cost.
 func pages(n int) sim.Time {
@@ -30,6 +41,7 @@ func (pr *Process) Pread(p *sim.Proc, fd int, buf []byte, off int64) (int, error
 	}
 	pr.enter(p)
 	defer pr.exit(p)
+	pr.injectRevoke(f)
 	pr.vfsCharge(p, len(buf))
 	return pr.M.FS.ReadAt(p, f.Ino, off, buf)
 }
@@ -48,6 +60,7 @@ func (pr *Process) Pwrite(p *sim.Proc, fd int, data []byte, off int64) (int, err
 	}
 	pr.enter(p)
 	defer pr.exit(p)
+	pr.injectRevoke(f)
 	// ext4 holds the inode's i_rwsem exclusively across direct-I/O
 	// write submission, serializing concurrent writers to one file.
 	lock := pr.M.writeLock(f.Ino.Ino)
@@ -131,6 +144,7 @@ func (pr *Process) Fsync(p *sim.Proc, fd int) error {
 	}
 	pr.enter(p)
 	defer pr.exit(p)
+	pr.injectRevoke(f)
 	if f.timesDirty {
 		f.Ino.Mtime = pr.M.Sim.Now()
 		f.timesDirty = false

@@ -53,14 +53,15 @@ func (pr *Process) XRPChain(p *sim.Proc, fd int, off, length int64, buf []byte, 
 		bufOff := int64(0)
 		for _, s := range segs {
 			n := s.Sectors * storage.SectorSize
-			st := m.kq.submitAndWait(p, nvme.SQE{
+			st := m.kq.submitRetry(p, nvme.SQE{
 				Opcode:  nvme.OpRead,
 				SLBA:    s.Sector,
 				Sectors: s.Sectors,
 				Buf:     buf[bufOff : bufOff+n],
 			})
 			if !st.OK() {
-				return steps, fmt.Errorf("kernel: xrp read: %v", st)
+				return steps, fmt.Errorf("kernel: xrp read at sector %d on %s: %v",
+					s.Sector, m.Dev.Config().Name, st)
 			}
 			bufOff += n
 		}

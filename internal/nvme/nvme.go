@@ -58,6 +58,10 @@ const (
 	StatusTranslationFault
 	StatusAccessDenied
 	StatusInternalError
+	// StatusMediaError and StatusCommandTimeout model transient device
+	// failures (injected by the fault plane); submitters may retry.
+	StatusMediaError
+	StatusCommandTimeout
 )
 
 func (s Status) String() string {
@@ -74,6 +78,10 @@ func (s Status) String() string {
 		return "access-denied"
 	case StatusInternalError:
 		return "internal-error"
+	case StatusMediaError:
+		return "media-error"
+	case StatusCommandTimeout:
+		return "command-timeout"
 	default:
 		return fmt.Sprintf("status(%d)", uint16(s))
 	}
@@ -81,6 +89,12 @@ func (s Status) String() string {
 
 // OK reports whether the status is a success.
 func (s Status) OK() bool { return s == StatusSuccess }
+
+// Transient reports whether the status models a transient device
+// condition that a submitter may reasonably retry.
+func (s Status) Transient() bool {
+	return s == StatusMediaError || s == StatusCommandTimeout
+}
 
 // SQE is a submission queue entry.
 type SQE struct {

@@ -111,26 +111,39 @@ func (d *Driver) copyCost(n int) sim.Time {
 	return d.cfg.CopyBase + sim.Time(float64(n)/d.cfg.CopyBW)
 }
 
+// doRetries bounds resubmissions of commands that completed with a
+// transient status (media error, timeout), as a real SPDK application
+// would retry before reporting I/O failure.
+const doRetries = 3
+
 // do submits one raw command and busy-polls completion.
 func (q *Queue) do(p *sim.Proc, op nvme.Opcode, sector int64, buf []byte) error {
-	q.cid++
-	if err := q.q.Submit(nvme.SQE{
-		Opcode:  op,
-		CID:     q.cid,
-		SLBA:    sector,
-		Sectors: int64(len(buf)) / storage.SectorSize,
-		Buf:     buf,
-	}); err != nil {
-		return err
-	}
-	for {
-		if c, ok := q.q.PopCQE(); ok {
-			if !c.Status.OK() {
-				return fmt.Errorf("spdk: %v at sector %d: %v", op, sector, c.Status)
+	for attempt := 0; ; attempt++ {
+		q.cid++
+		if err := q.q.Submit(nvme.SQE{
+			Opcode:  op,
+			CID:     q.cid,
+			SLBA:    sector,
+			Sectors: int64(len(buf)) / storage.SectorSize,
+			Buf:     buf,
+		}); err != nil {
+			return err
+		}
+		var c nvme.CQE
+		for {
+			var ok bool
+			if c, ok = q.q.PopCQE(); ok {
+				break
 			}
+			q.d.cpu.BusyWait(p, q.q.CQReady)
+		}
+		if c.Status.OK() {
 			return nil
 		}
-		q.d.cpu.BusyWait(p, q.q.CQReady)
+		if c.Status.Transient() && attempt < doRetries {
+			continue
+		}
+		return fmt.Errorf("spdk: %v at sector %d (queue %d): nvme status %v", op, sector, q.q.ID, c.Status)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/ext4"
+	"repro/internal/faults"
 	"repro/internal/kernel"
 	"repro/internal/nvme"
 	"repro/internal/sim"
@@ -43,16 +44,33 @@ type Config struct {
 	// (§5.1 alternate-data-structure enhancement) instead of
 	// page-table FTEs.
 	ExtentFmap bool
+
+	// MaxRetries bounds the direct path's recovery attempts per
+	// operation — transient-error resubmissions and refmaps alike —
+	// before the file degrades to the kernel interface. <= 0 means
+	// the default (3).
+	MaxRetries int
+	// RetryBackoff is the first retry's delay; each further retry
+	// doubles it. <= 0 means the default (5 µs).
+	RetryBackoff sim.Time
 }
+
+// Retry defaults, applied by New when the Config leaves them unset.
+const (
+	defaultMaxRetries   = 3
+	defaultRetryBackoff = 5 * sim.Microsecond
+)
 
 // DefaultConfig returns the calibration documented in DESIGN.md.
 func DefaultConfig() Config {
 	return Config{
-		LibOverhead: 150 * sim.Nanosecond,
-		CopyBase:    60 * sim.Nanosecond,
-		CopyBW:      10.7,
-		QueueDepth:  256,
-		DMABufBytes: 1 << 20,
+		LibOverhead:  150 * sim.Nanosecond,
+		CopyBase:     60 * sim.Nanosecond,
+		CopyBW:       10.7,
+		QueueDepth:   256,
+		DMABufBytes:  1 << 20,
+		MaxRetries:   defaultMaxRetries,
+		RetryBackoff: defaultRetryBackoff,
 	}
 }
 
@@ -74,6 +92,24 @@ type FileState struct {
 	pending []pendingRange
 }
 
+// Stats counts fault-path events on the direct path (the ISSUE-2
+// degradation counters; experiments report behaviour under faults
+// with these).
+type Stats struct {
+	// Retries counts recovery attempts that kept the op on the direct
+	// path: backoff-resubmits after transient errors and successful
+	// refmaps after translation faults.
+	Retries int64
+	// Fallbacks counts degradation events: direct-path ops abandoned
+	// to the kernel interface after a fault (retry exhaustion or a
+	// revoked mapping). The file stays on the kernel interface.
+	Fallbacks int64
+	// InjectedFaults counts fault-plane events observed on the direct
+	// path: injected backpressure plus transient device statuses
+	// (which only the fault plane produces).
+	InjectedFaults int64
+}
+
 // Lib is the per-process library instance shared by all threads.
 type Lib struct {
 	Proc  *kernel.Process
@@ -84,15 +120,26 @@ type Lib struct {
 	DirectOps   int64 // served via the BypassD interface
 	FallbackOps int64 // served via the kernel interface
 	Refmaps     int64 // fmap() retries after faults
+	Stats       Stats // fault-path event counters
 
 	shared      *Thread   // shared-queue ablation state
 	sharedReady *sim.Cond // signalled once the shared queue exists
+	sharedErr   error     // why shared-queue setup failed, if it did
 }
 
 // New creates the library instance for a process.
 func New(pr *kernel.Process, cfg Config) *Lib {
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = defaultMaxRetries
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = defaultRetryBackoff
+	}
 	return &Lib{Proc: pr, cfg: cfg, files: make(map[int]*FileState)}
 }
+
+// devName names the device the library talks to (error context).
+func (l *Lib) devName() string { return l.Proc.M.Dev.Config().Name }
 
 // Thread is per-application-thread state: a private queue pair and
 // DMA buffer, so threads never contend on the data path. In the
@@ -138,8 +185,9 @@ func (l *Lib) sharedThread(p *sim.Proc) (*Thread, error) {
 		q, err := l.Proc.CreateUserQueue(p, l.cfg.QueueDepth)
 		if err != nil {
 			l.shared = nil
+			l.sharedErr = fmt.Errorf("userlib: shared queue setup on dev %s: %w", l.devName(), err)
 			l.sharedReady.Broadcast()
-			return nil, err
+			return nil, l.sharedErr
 		}
 		t.q = q
 		t.dma = l.Proc.AllocDMABuffer(p, l.cfg.DMABufBytes)
@@ -150,7 +198,9 @@ func (l *Lib) sharedThread(p *sim.Proc) (*Thread, error) {
 		l.sharedReady.Wait(p)
 	}
 	if l.shared == nil {
-		return nil, fmt.Errorf("userlib: shared queue setup failed")
+		// Re-report the creator's failure to every waiter with the
+		// original device context intact.
+		return nil, fmt.Errorf("userlib: shared queue setup failed: %w", l.sharedErr)
 	}
 	return &Thread{Lib: l, q: l.shared.q, dma: l.shared.dma, lock: l.shared.lock}, nil
 }
@@ -263,6 +313,99 @@ func (t *Thread) doVBA(p *sim.Proc, op nvme.Opcode, vba uint64, buf []byte) nvme
 	}
 }
 
+// backoff returns the exponential delay before retry n (1-based).
+func (l *Lib) backoff(n int) sim.Time {
+	d := l.cfg.RetryBackoff
+	for i := 1; i < n; i++ {
+		d *= 2
+	}
+	return d
+}
+
+// degrade routes the file to the kernel interface permanently (the
+// fallback leg of the §3.6 state machine) and counts the event.
+func (l *Lib) degrade(fs *FileState) {
+	fs.Base = 0
+	l.Stats.Fallbacks++
+}
+
+// opError wraps a direct-path failure with the device name, queue ID
+// and NVMe status so injected faults are diagnosable from test output.
+func (t *Thread) opError(op string, fs *FileState, off int64, st nvme.Status) error {
+	return fmt.Errorf("userlib: %s %s at %d (dev %s, queue %d): nvme status %v",
+		op, fs.Path, off, t.Lib.devName(), t.q.ID, st)
+}
+
+// vbaRetry runs one direct-path command through the bounded
+// retry-with-backoff state machine:
+//
+//	submit ──ok──────────────────────────────▶ done (direct)
+//	   │ transient (media error, timeout, backpressure)
+//	   │      └─ retries left: sleep backoff, resubmit
+//	   │ translation fault / access denied
+//	   │      └─ refmaps left: re-issue fmap(), resubmit
+//	   │                └─ fmap() returns VBA 0 ─▶ fallback (permanent)
+//	   └─ budget exhausted ──▶ degrade: fs.Base = 0, fallback (permanent)
+//
+// fellBack=true tells the caller to route this op — and, since
+// fs.Base is now 0, every later op on the file — through the kernel.
+// A non-OK status with fellBack=false is a hard error (the caller
+// reports it via opError). The VBA is recomputed from fs.Base each
+// attempt because refmap may move the mapping.
+func (t *Thread) vbaRetry(p *sim.Proc, fs *FileState, op nvme.Opcode, alignedOff int64, dma []byte) (st nvme.Status, fellBack bool) {
+	l := t.Lib
+	inj := l.Proc.M.Faults
+	retries, refmaps := 0, 0
+	for {
+		if inj.Fire(faults.SiteQueueFull) {
+			// Injected submission backpressure: treat exactly like a
+			// full ring — back off, then resubmit.
+			l.Stats.InjectedFaults++
+			if retries >= l.cfg.MaxRetries {
+				l.degrade(fs)
+				return nvme.StatusCommandTimeout, true
+			}
+			retries++
+			l.Stats.Retries++
+			p.Sleep(l.backoff(retries))
+			continue
+		}
+		st = t.doVBA(p, op, fs.Base+uint64(alignedOff), dma)
+		switch {
+		case st.OK():
+			return st, false
+		case st == nvme.StatusTranslationFault || st == nvme.StatusAccessDenied:
+			// Revocation or a spurious IOMMU fault: re-issue fmap()
+			// and resubmit (paper §3.6).
+			if refmaps >= l.cfg.MaxRetries || inj.Fire(faults.SiteRefmapExhaust) {
+				l.degrade(fs)
+				return st, true
+			}
+			refmaps++
+			if !t.refmap(p, fs) {
+				// fmap() returned VBA 0: access revoked; refmap
+				// already cleared fs.Base.
+				l.Stats.Fallbacks++
+				return st, true
+			}
+			l.Stats.Retries++
+		case st.Transient():
+			// Media error or command timeout — only the fault plane
+			// produces these.
+			l.Stats.InjectedFaults++
+			if retries >= l.cfg.MaxRetries {
+				l.degrade(fs)
+				return st, true
+			}
+			retries++
+			l.Stats.Retries++
+			p.Sleep(l.backoff(retries))
+		default:
+			return st, false // hard error: caller reports it
+		}
+	}
+}
+
 // refmap re-issues fmap() after a fault. A zero VBA means revoked:
 // the file permanently falls back to the kernel interface (§3.6).
 func (t *Thread) refmap(p *sim.Proc, fs *FileState) bool {
@@ -328,18 +471,15 @@ func (t *Thread) Pread(p *sim.Proc, fd int, buf []byte, off int64) (int, error) 
 
 	t.acquire(p)
 	dma := t.dma[:span]
-	st := t.doVBA(p, nvme.OpRead, fs.Base+uint64(alignedOff), dma)
-	if st == nvme.StatusTranslationFault || st == nvme.StatusAccessDenied {
-		if !t.refmap(p, fs) {
-			t.release()
-			l.FallbackOps++
-			return l.Proc.Pread(p, fd, buf, off)
-		}
-		st = t.doVBA(p, nvme.OpRead, fs.Base+uint64(alignedOff), dma)
+	st, fellBack := t.vbaRetry(p, fs, nvme.OpRead, alignedOff, dma)
+	if fellBack {
+		t.release()
+		l.FallbackOps++
+		return l.Proc.Pread(p, fd, buf, off)
 	}
 	if !st.OK() {
 		t.release()
-		return 0, fmt.Errorf("userlib: read %s at %d: %v", fs.Path, off, st)
+		return 0, t.opError("read", fs, off, st)
 	}
 	uStart := p.Now()
 	m.CPU.Compute(p, l.copyCost(int(n)))
@@ -412,18 +552,15 @@ func (t *Thread) Pwrite(p *sim.Proc, fd int, data []byte, off int64) (int, error
 	copy(dma, data)
 	t.UserNS += p.Now() - uStart
 
-	st := t.doVBA(p, nvme.OpWrite, fs.Base+uint64(off), dma)
-	if st == nvme.StatusTranslationFault || st == nvme.StatusAccessDenied {
-		if !t.refmap(p, fs) {
-			t.release()
-			l.FallbackOps++
-			return l.Proc.Pwrite(p, fd, data, off)
-		}
-		st = t.doVBA(p, nvme.OpWrite, fs.Base+uint64(off), dma)
+	st, fellBack := t.vbaRetry(p, fs, nvme.OpWrite, off, dma)
+	if fellBack {
+		t.release()
+		l.FallbackOps++
+		return l.Proc.Pwrite(p, fd, data, off)
 	}
 	t.release()
 	if !st.OK() {
-		return 0, fmt.Errorf("userlib: write %s at %d: %v", fs.Path, off, st)
+		return 0, t.opError("write", fs, off, st)
 	}
 	if f, err := l.Proc.FDInfo(fd); err == nil {
 		f.MarkTimesDirty()
@@ -470,16 +607,24 @@ func (t *Thread) partialWrite(p *sim.Proc, fs *FileState, data []byte, off int64
 	t.acquire(p)
 	defer t.release()
 	dma := t.dma[:span]
-	if st := t.doVBA(p, nvme.OpRead, fs.Base+uint64(alignedOff), dma); !st.OK() {
-		return 0, fmt.Errorf("userlib: rmw read %s: %v", fs.Path, st)
+	st, fellBack := t.vbaRetry(p, fs, nvme.OpRead, alignedOff, dma)
+	if !fellBack && st.OK() {
+		m := l.Proc.M
+		uStart := p.Now()
+		m.CPU.Compute(p, l.copyCost(int(n)))
+		copy(dma[off-alignedOff:], data)
+		t.UserNS += p.Now() - uStart
+		st, fellBack = t.vbaRetry(p, fs, nvme.OpWrite, alignedOff, dma)
 	}
-	m := l.Proc.M
-	uStart := p.Now()
-	m.CPU.Compute(p, l.copyCost(int(n)))
-	copy(dma[off-alignedOff:], data)
-	t.UserNS += p.Now() - uStart
-	if st := t.doVBA(p, nvme.OpWrite, fs.Base+uint64(alignedOff), dma); !st.OK() {
-		return 0, fmt.Errorf("userlib: rmw write %s: %v", fs.Path, st)
+	if fellBack {
+		// The RMW lost its mapping mid-flight: the kernel path writes
+		// the sub-sector payload itself (the partial-offset locks held
+		// here still exclude concurrent overlapping partials).
+		l.FallbackOps++
+		return l.Proc.Pwrite(p, fs.FD, data, off)
+	}
+	if !st.OK() {
+		return 0, t.opError("rmw", fs, off, st)
 	}
 	l.DirectOps++
 	return int(n), nil
@@ -522,7 +667,8 @@ func (t *Thread) Fsync(p *sim.Proc, fd int) error {
 		if c, ok := t.q.PopCQE(); ok {
 			if !c.Status.OK() {
 				t.release()
-				return fmt.Errorf("userlib: flush: %v", c.Status)
+				return fmt.Errorf("userlib: flush (dev %s, queue %d): nvme status %v",
+					t.Lib.devName(), t.q.ID, c.Status)
 			}
 			break
 		}
