@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 FUZZ_TARGETS := FuzzExtentTree FuzzRename
 
-.PHONY: all build test race vet bench fuzz check clean
+.PHONY: all build test race vet bench fuzz check trace-smoke clean
 
 all: check
 
@@ -31,6 +31,17 @@ fuzz:
 		echo "== fuzzing $$t ($(FUZZTIME))"; \
 		$(GO) test ./internal/ext4 -run $$t -fuzz "^$$t$$" -fuzztime $(FUZZTIME); \
 	done
+
+# trace-smoke runs one experiment with the trace plane armed and
+# validates the emitted Chrome trace-event JSON with cmd/tracecheck:
+# the file must parse, contain only X/M phases, and hold real spans.
+trace-smoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+		$(GO) build -o $$tmp/bench ./cmd/bypassd-bench; \
+		$(GO) build -o $$tmp/tracecheck ./cmd/tracecheck; \
+		$$tmp/bench -run T6 -trace $$tmp/trace.json -metrics > $$tmp/out.txt; \
+		grep -q '== metrics ==' $$tmp/out.txt; \
+		$$tmp/tracecheck -min 100 $$tmp/trace.json
 
 # check is the default gate: build, vet, full tests, and the race
 # detector over the whole tree.

@@ -8,6 +8,8 @@
 //	bypassd-bench -o results.md   # also write a markdown report
 //	bypassd-bench -json run.json  # machine-readable per-experiment results
 //	bypassd-bench -faults chaos   # run under a named fault-injection profile
+//	bypassd-bench -trace t.json   # per-request spans as Chrome trace-event JSON
+//	bypassd-bench -metrics        # print the unified metrics registry after the run
 //
 // Reports go to stdout in the experiments' registered order and are
 // byte-identical at any -j value; progress and timing lines go to
@@ -26,6 +28,8 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // jsonResult is one experiment's machine-readable outcome.
@@ -39,15 +43,16 @@ type jsonResult struct {
 
 // jsonRun is the -json output: run metadata plus per-experiment rows.
 type jsonRun struct {
-	Mode        string           `json:"mode"`
-	Seed        int64            `json:"seed"`
-	Parallelism int              `json:"parallelism"`
-	GOMAXPROCS  int              `json:"gomaxprocs"`
-	TotalWallMS float64          `json:"total_wall_ms"`
-	Faults      string           `json:"faults,omitempty"`
-	FaultsTotal int64            `json:"faults_total,omitempty"`
-	FaultsBy    map[string]int64 `json:"faults_by_site,omitempty"`
-	Results     []jsonResult     `json:"results"`
+	Mode        string            `json:"mode"`
+	Seed        int64             `json:"seed"`
+	Parallelism int               `json:"parallelism"`
+	GOMAXPROCS  int               `json:"gomaxprocs"`
+	TotalWallMS float64           `json:"total_wall_ms"`
+	Faults      string            `json:"faults,omitempty"`
+	FaultsTotal int64             `json:"faults_total,omitempty"`
+	FaultsBy    map[string]int64  `json:"faults_by_site,omitempty"`
+	Metrics     *metrics.Snapshot `json:"metrics,omitempty"`
+	Results     []jsonResult      `json:"results"`
 }
 
 func main() {
@@ -60,6 +65,8 @@ func main() {
 		out      = flag.String("o", "", "also write the combined report to this file")
 		jsonOut  = flag.String("json", "", "write machine-readable results to this file")
 		faultsP  = flag.String("faults", "", "fault-injection profile name (see -list); empty = disabled")
+		traceOut = flag.String("trace", "", "write per-request spans to this file (Chrome trace-event JSON)")
+		metricsF = flag.Bool("metrics", false, "print the unified metrics registry to stdout after the run")
 	)
 	flag.Parse()
 
@@ -103,6 +110,13 @@ func main() {
 		}
 	}
 
+	if *traceOut != "" {
+		trace.Activate(trace.Options{})
+	}
+	if *metricsF {
+		metrics.Activate()
+	}
+
 	opts := experiments.Options{Quick: !*full, Seed: *seed, Parallelism: workers, Faults: *faultsP}
 	mode := "quick"
 	if *full {
@@ -142,8 +156,30 @@ func main() {
 		combined.WriteString(r.Report.String())
 		combined.WriteString("\n")
 	}
+	var snap *metrics.Snapshot
+	if *metricsF {
+		reg := metrics.Active()
+		// Fold the fault plane's aggregate counters into the registry so
+		// one render covers every subsystem.
+		for site, n := range faults.GlobalCounts() {
+			reg.Counter("faults_injected_total", "site", site).Add(n)
+		}
+		fmt.Print(reg.Render())
+		fmt.Println()
+		s := reg.Snapshot()
+		snap = &s
+	}
 	fmt.Fprintf(os.Stderr, "== total wall time %.1fs (%d experiments, -j %d)\n",
 		total.Seconds(), len(results), workers)
+	if *traceOut != "" {
+		if err := trace.WriteFile(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *traceOut, err)
+			failed++
+		} else {
+			ev, dr := trace.CollectedEvents()
+			fmt.Fprintf(os.Stderr, "== trace: %d events (%d dropped) -> %s\n", ev, dr, *traceOut)
+		}
+	}
 	if *faultsP != "" {
 		counts := faults.GlobalCounts()
 		sites := make([]string, 0, len(counts))
@@ -176,6 +212,7 @@ func main() {
 			run.FaultsTotal = faults.GlobalTotal()
 			run.FaultsBy = faults.GlobalCounts()
 		}
+		run.Metrics = snap
 		for _, r := range results {
 			jr := jsonResult{
 				ID:     r.Experiment.ID,

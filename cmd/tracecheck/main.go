@@ -1,0 +1,97 @@
+// tracecheck validates a Chrome trace-event JSON file produced by
+// bypassd-bench -trace. It is the CI gate behind `make trace-smoke`:
+// it proves the file is well-formed JSON in the trace-event container
+// format, that every event is one of the two phases the tracer emits
+// ("X" complete spans, "M" metadata), and that spans carry sane
+// timestamps. Exit status is non-zero on any violation so the target
+// fails loudly.
+//
+// Usage: tracecheck [-min N] trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Name string          `json:"name"`
+	Cat  string          `json:"cat"`
+	Ph   string          `json:"ph"`
+	Ts   *float64        `json:"ts"`
+	Dur  *float64        `json:"dur"`
+	Pid  *int            `json:"pid"`
+	Tid  json.RawMessage `json:"tid"`
+	Args json.RawMessage `json:"args"`
+}
+
+func main() {
+	minSpans := flag.Int("min", 1, "minimum number of span (ph=X) events required")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tracecheck [-min N] trace.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		fatalf("%s: not valid trace-event JSON: %v", path, err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		fatalf("%s: traceEvents array is missing or empty", path)
+	}
+
+	var spans, meta int
+	for i, e := range tf.TraceEvents {
+		switch e.Ph {
+		case "X":
+			spans++
+			if e.Name == "" {
+				fatalf("%s: event %d: span has no name", path, i)
+			}
+			if e.Ts == nil || *e.Ts < 0 {
+				fatalf("%s: event %d (%s): missing or negative ts", path, i, e.Name)
+			}
+			if e.Dur == nil || *e.Dur < 0 {
+				fatalf("%s: event %d (%s): missing or negative dur", path, i, e.Name)
+			}
+			if e.Pid == nil {
+				fatalf("%s: event %d (%s): span has no pid", path, i, e.Name)
+			}
+		case "M":
+			meta++
+			if e.Name != "process_name" && e.Name != "thread_name" {
+				fatalf("%s: event %d: unexpected metadata %q", path, i, e.Name)
+			}
+			if len(e.Args) == 0 {
+				fatalf("%s: event %d (%s): metadata has no args", path, i, e.Name)
+			}
+		default:
+			fatalf("%s: event %d: unexpected phase %q (tracer only emits X and M)", path, i, e.Ph)
+		}
+	}
+	if spans < *minSpans {
+		fatalf("%s: only %d span events, want at least %d", path, spans, *minSpans)
+	}
+	fmt.Printf("tracecheck: %s ok (%d spans, %d metadata events)\n", path, spans, meta)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}

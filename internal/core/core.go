@@ -14,6 +14,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/spdk"
 	"repro/internal/storage"
+	"repro/internal/trace"
 	"repro/internal/userlib"
 )
 
@@ -115,20 +116,21 @@ type FileIO interface {
 // threads of a workload should share pr (one process) unless the
 // experiment is about inter-process sharing.
 func (sys *System) NewFileIO(p *sim.Proc, pr *kernel.Process, e Engine) (FileIO, error) {
+	var inner FileIO
 	switch e {
 	case EngineSync:
-		return &syncIO{pr: pr}, nil
+		inner = &syncIO{pr: pr}
 	case EngineLibaio:
-		return &aioIO{pr: pr, ctx: pr.NewAioContext()}, nil
+		inner = &aioIO{pr: pr, ctx: pr.NewAioContext()}
 	case EngineUring:
-		return &uringIO{pr: pr, u: pr.NewUring(p)}, nil
+		inner = &uringIO{pr: pr, u: pr.NewUring(p)}
 	case EngineBypassD:
 		lib := sys.Lib(pr)
 		th, err := lib.NewThread(p)
 		if err != nil {
 			return nil, err
 		}
-		return &bypassIO{lib: lib, th: th}, nil
+		inner = &bypassIO{lib: lib, th: th}
 	case EngineSPDK:
 		d, err := sys.SPDK()
 		if err != nil {
@@ -138,11 +140,48 @@ func (sys *System) NewFileIO(p *sim.Proc, pr *kernel.Process, e Engine) (FileIO,
 		if err != nil {
 			return nil, err
 		}
-		return &spdkIO{d: d, q: q}, nil
+		inner = &spdkIO{d: d, q: q}
 	default:
 		return nil, fmt.Errorf("core: unknown engine %q", e)
 	}
+	if tr := sys.M.Trace; tr != nil {
+		return &tracedIO{inner: inner, tr: tr}, nil
+	}
+	return inner, nil
 }
+
+// tracedIO decorates a FileIO with per-request spans: each Pread /
+// Pwrite / Fsync opens an IOSpan, threads it down the stack via the
+// proc's trace context, and finishes it on return. Installed by
+// NewFileIO when the machine has a tracer attached.
+type tracedIO struct {
+	inner FileIO
+	tr    *trace.Tracer
+}
+
+func (io *tracedIO) Engine() Engine { return io.inner.Engine() }
+func (io *tracedIO) Open(p *sim.Proc, path string, write bool) (int, error) {
+	return io.inner.Open(p, path, write)
+}
+func (io *tracedIO) traced(p *sim.Proc, op string, fn func() (int, error)) (int, error) {
+	sp := io.tr.StartIO(p, string(io.inner.Engine()), op)
+	p.SetTraceCtx(sp)
+	n, err := fn()
+	p.SetTraceCtx(nil)
+	sp.Finish(p.Now())
+	return n, err
+}
+func (io *tracedIO) Pread(p *sim.Proc, fd int, buf []byte, off int64) (int, error) {
+	return io.traced(p, "read", func() (int, error) { return io.inner.Pread(p, fd, buf, off) })
+}
+func (io *tracedIO) Pwrite(p *sim.Proc, fd int, data []byte, off int64) (int, error) {
+	return io.traced(p, "write", func() (int, error) { return io.inner.Pwrite(p, fd, data, off) })
+}
+func (io *tracedIO) Fsync(p *sim.Proc, fd int) error {
+	_, err := io.traced(p, "fsync", func() (int, error) { return 0, io.inner.Fsync(p, fd) })
+	return err
+}
+func (io *tracedIO) Close(p *sim.Proc, fd int) error { return io.inner.Close(p, fd) }
 
 // syncIO: synchronous kernel path.
 type syncIO struct{ pr *kernel.Process }
@@ -238,6 +277,9 @@ func (io *bypassIO) Thread() *userlib.Thread { return io.th }
 // BypassThread extracts the UserLib thread from a FileIO when the
 // engine is bypassd (Fig. 7 breakdown instrumentation).
 func BypassThread(io FileIO) (*userlib.Thread, bool) {
+	if t, ok := io.(*tracedIO); ok {
+		io = t.inner
+	}
 	b, ok := io.(*bypassIO)
 	if !ok {
 		return nil, false

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/iommu"
+	"repro/internal/metrics"
 	"repro/internal/nvme"
 	"repro/internal/sim"
 	"repro/internal/storage"
@@ -148,6 +149,13 @@ type SSD struct {
 	siteMedia   string
 	siteTimeout string
 	siteDelay   string
+
+	// Metrics handles, resolved once at boot; nil (inert) when no
+	// registry is active, like the fault plane.
+	mReads, mWrites, mFlushes *metrics.Counter
+	mBytesRead, mBytesWrite   *metrics.Counter
+	mErrors                   *metrics.Counter
+	mQueues                   *metrics.Gauge
 }
 
 // New creates a device backed by a fresh sparse store and starts its
@@ -172,6 +180,7 @@ func NewWithStore(s *sim.Sim, cfg Config, st *storage.Store) *SSD {
 		opsByQ:        make(map[int]int64),
 	}
 	d.initSites()
+	d.initMetrics()
 	s.Spawn(cfg.Name+"-dispatch", d.dispatch)
 	return d
 }
@@ -181,6 +190,18 @@ func (d *SSD) initSites() {
 	d.siteMedia = faults.DeviceSite(d.cfg.Name, faults.KindMedia)
 	d.siteTimeout = faults.DeviceSite(d.cfg.Name, faults.KindTimeout)
 	d.siteDelay = faults.DeviceSite(d.cfg.Name, faults.KindDelay)
+}
+
+// initMetrics resolves the device's metric series from the active
+// registry (nil handles when metrics are off).
+func (d *SSD) initMetrics() {
+	d.mReads = metrics.GetCounter("device_ops_total", "dev", d.cfg.Name, "op", "read")
+	d.mWrites = metrics.GetCounter("device_ops_total", "dev", d.cfg.Name, "op", "write")
+	d.mFlushes = metrics.GetCounter("device_ops_total", "dev", d.cfg.Name, "op", "flush")
+	d.mBytesRead = metrics.GetCounter("device_bytes_total", "dev", d.cfg.Name, "dir", "read")
+	d.mBytesWrite = metrics.GetCounter("device_bytes_total", "dev", d.cfg.Name, "dir", "write")
+	d.mErrors = metrics.GetCounter("device_errors_total", "dev", d.cfg.Name)
+	d.mQueues = metrics.GetGauge("device_queues", "dev", d.cfg.Name)
 }
 
 // SetInjector attaches the machine's fault plane. Virtual functions
@@ -214,6 +235,7 @@ func Carve(s *sim.Sim, parent *SSD, name string, devID uint8, baseSector, sector
 		inj:           parent.inj, // VFs share the machine's fault plane
 	}
 	vf.initSites()
+	vf.initMetrics()
 	s.Spawn(cfg.Name+"-dispatch", vf.dispatch)
 	return vf, nil
 }
@@ -288,6 +310,7 @@ func (d *SSD) CreateQueue(pasid uint32, depth int) (*nvme.QueuePair, error) {
 	// wakes regardless of which queue was written.
 	q.Doorbell = d.arrival
 	d.queues = append(d.queues, q)
+	d.mQueues.Add(1)
 	return q, nil
 }
 
@@ -296,6 +319,7 @@ func (d *SSD) DestroyQueue(q *nvme.QueuePair) {
 	for i, x := range d.queues {
 		if x == q {
 			d.queues = append(d.queues[:i], d.queues[i+1:]...)
+			d.mQueues.Add(-1)
 			break
 		}
 	}
@@ -354,6 +378,13 @@ func (d *SSD) serviceTime(op nvme.Opcode, bytes int64) sim.Time {
 func (d *SSD) serve(p *sim.Proc, cmd command) {
 	e := cmd.sqe
 	status := nvme.StatusSuccess
+	sp := e.Span
+	sp.ServiceStart(p.Now())
+	// effTr is the translation time exposed inside the service window
+	// (Fig. 5's "translate" phase): the full walk on reads and
+	// serialized writes, only the non-overlapped excess on overlapped
+	// writes, zero when no VBA is involved.
+	var effTr sim.Time
 
 	switch e.Opcode {
 	case nvme.OpFlush:
@@ -363,6 +394,8 @@ func (d *SSD) serve(p *sim.Proc, cmd command) {
 		}
 		p.Sleep(d.cfg.FlushLatency)
 		d.stats.Flushes++
+		d.mFlushes.Inc()
+		sp.ServiceEnd(p.Now(), 0)
 		d.complete(cmd, nvme.StatusSuccess)
 		return
 
@@ -390,6 +423,7 @@ func (d *SSD) serve(p *sim.Proc, cmd command) {
 			// Translation failed: the error returns to the process
 			// after the ATS exchange, without media access (§5.3).
 			p.Sleep(tlat)
+			effTr = tlat
 			status = st
 			break
 		}
@@ -399,12 +433,16 @@ func (d *SSD) serve(p *sim.Proc, cmd command) {
 			// Reads serialize translation before media access: the
 			// device needs block addresses before reading (§4.3).
 			p.Sleep(tlat + svc)
+			effTr = tlat
 		} else if d.cfg.SerializeWriteTranslation {
 			p.Sleep(tlat + svc)
+			effTr = tlat
 		} else {
 			// Writes overlap translation with the host-to-device
-			// data transfer, so they see no VBA overhead (§4.3).
+			// data transfer, so they see no VBA overhead (§4.3);
+			// only a walk outlasting the transfer is exposed.
 			if tlat > svc {
+				effTr = tlat - svc
 				svc = tlat
 			}
 			p.Sleep(svc)
@@ -431,6 +469,7 @@ func (d *SSD) serve(p *sim.Proc, cmd command) {
 		}
 	}
 	d.channels.Release()
+	sp.ServiceEnd(p.Now(), effTr)
 	d.complete(cmd, status)
 }
 
@@ -510,13 +549,18 @@ func (d *SSD) moveData(e nvme.SQE, segs []iommu.Segment) nvme.Status {
 			err = d.store.ReadSectors(s.Sector, s.Sectors, e.Buf[off:off+n])
 			d.stats.Reads++
 			d.stats.BytesRead += n
+			d.mReads.Inc()
+			d.mBytesRead.Add(n)
 		case nvme.OpWrite:
 			err = d.store.WriteSectors(s.Sector, s.Sectors, e.Buf[off:off+n])
 			d.stats.Writes++
 			d.stats.BytesWrite += n
+			d.mWrites.Inc()
+			d.mBytesWrite.Add(n)
 		case nvme.OpWriteZeroes:
 			err = d.store.Zero(s.Sector, s.Sectors)
 			d.stats.Writes++
+			d.mWrites.Inc()
 		}
 		if err != nil {
 			return nvme.StatusInternalError
@@ -529,6 +573,7 @@ func (d *SSD) moveData(e nvme.SQE, segs []iommu.Segment) nvme.Status {
 func (d *SSD) complete(cmd command, status nvme.Status) {
 	if !status.OK() {
 		d.stats.Faults++
+		d.mErrors.Inc()
 	}
 	d.opsByQ[cmd.q.ID]++
 	cmd.q.PostCQE(nvme.CQE{CID: cmd.sqe.CID, Status: status})

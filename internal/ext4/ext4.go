@@ -20,8 +20,10 @@ import (
 	"fmt"
 
 	"repro/internal/faults"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // On-disk geometry.
@@ -154,12 +156,21 @@ type FS struct {
 	// journal crash points in writeTransaction.
 	inj *faults.Injector
 
+	// tr is the machine's span tracer (nil = inert); Commit emits a
+	// journal-commit span on it.
+	tr *trace.Tracer
+
+	mCommits *metrics.Counter
+
 	// Stats for tests and the harness.
 	Commits int64
 }
 
 // SetInjector attaches the machine's fault plane.
 func (fs *FS) SetInjector(inj *faults.Injector) { fs.inj = inj }
+
+// SetTracer attaches the machine's span tracer (nil detaches).
+func (fs *FS) SetTracer(tr *trace.Tracer) { fs.tr = tr }
 
 // Mkfs formats the medium and returns nothing; mount afterwards.
 func Mkfs(bio BlockIO, opt Options) error {
@@ -253,6 +264,7 @@ func Mount(p *sim.Proc, bio BlockIO, devID uint8, now func() sim.Time) (*FS, err
 		inodes:      make(map[uint32]*Inode),
 		dirtyInodes: make(map[uint32]bool),
 		dirCache:    make(map[uint32][]DirEntry),
+		mCommits:    metrics.GetCounter("ext4_commits_total"),
 	}
 	if err := fs.sb.unmarshal(buf); err != nil {
 		return nil, err

@@ -24,6 +24,10 @@ const maxJournalTargets = (BlockSize - 24) / 8
 // deferred block frees. It is the FS's sync point (fsync, close,
 // unmount).
 func (fs *FS) Commit(p *sim.Proc) error {
+	var commitStart sim.Time
+	if p != nil {
+		commitStart = p.Now()
+	}
 	// The caller (fsync path) has already drained and flushed the
 	// device, so blocks freed since the last commit can now be
 	// released for reallocation and their cleared bits written as
@@ -109,6 +113,10 @@ func (fs *FS) Commit(p *sim.Proc) error {
 	fs.dirtyInodes = make(map[uint32]bool)
 	fs.dirtyBitmap = make(map[int64]bool)
 	fs.Commits++
+	fs.mCommits.Inc()
+	if p != nil {
+		fs.tr.Emit(p, "journal-commit", "ext4", commitStart, p.Now()-commitStart)
+	}
 	return nil
 }
 

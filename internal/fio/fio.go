@@ -14,6 +14,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // Group is one set of identical workers.
@@ -40,6 +41,9 @@ type GroupResult struct {
 	End      sim.Time
 	UserNS   sim.Time // BypassD-only: library+copy time (Fig. 7)
 	DeviceNS sim.Time // BypassD-only: submit-to-completion time
+	// Phases is the Fig. 5 latency attribution for this group's engine
+	// (submit/translate/media/complete); nil unless tracing was on.
+	Phases *trace.Attribution
 }
 
 // Elapsed returns the measurement window.
@@ -59,6 +63,9 @@ type Spec struct {
 	VBAFixedLatency sim.Time
 	CacheFTEs       bool
 	Seed            int64
+	// Trace attaches a span tracer to the machine even when the global
+	// trace plane is off, so GroupResult.Phases is populated.
+	Trace bool
 }
 
 // Run executes the groups on one freshly booted system.
@@ -79,6 +86,9 @@ func Run(spec Spec, groups []Group) (map[string]*GroupResult, error) {
 	defer sys.Sim.Shutdown()
 	sys.M.MMU.SetFixedVBALatency(spec.VBAFixedLatency)
 	sys.M.MMU.SetCacheFTEs(spec.CacheFTEs)
+	if spec.Trace && sys.M.Trace == nil {
+		sys.M.EnableTrace(trace.NewTracer("fio"))
+	}
 
 	results := make(map[string]*GroupResult)
 	for _, g := range groups {
@@ -258,6 +268,13 @@ func Run(spec Spec, groups []Group) (map[string]*GroupResult, error) {
 	sys.Sim.Run()
 	if setupErr != nil {
 		return nil, setupErr
+	}
+	if tr := sys.M.Trace; tr != nil {
+		for _, g := range groups {
+			if a := tr.Attribution(string(g.Engine)); a != nil {
+				results[g.Name].Phases = a
+			}
+		}
 	}
 	return results, nil
 }

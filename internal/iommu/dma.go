@@ -48,10 +48,10 @@ func (d *DMAEngine) Copy(pasid uint32, srcVA, dstVA uint64) sim.Time {
 		key := tlbKey{pasid, va / pagetable.PageSize}
 		lat += d.iommu.cfg.IOTLBLookup
 		if d.tlb[key] {
-			d.iommu.tlbHits++
+			d.iommu.countTLBHit()
 			continue
 		}
-		d.iommu.tlbMisses++
+		d.iommu.countTLBMiss()
 		lat += d.iommu.cfg.WalkLatency
 		d.tlb[key] = true
 	}

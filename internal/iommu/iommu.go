@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/faults"
+	"repro/internal/metrics"
 	"repro/internal/pagetable"
 	"repro/internal/sim"
 	"repro/internal/storage"
@@ -139,16 +140,34 @@ type IOMMU struct {
 	denials   int64
 
 	inj *faults.Injector // machine fault plane; nil = inert
+
+	// Metrics handles, resolved once at construction; nil (inert)
+	// when no registry is active.
+	mHits, mMisses    *metrics.Counter
+	mFaults, mDenials *metrics.Counter
+	mWalks            *metrics.Counter
 }
 
 // New returns an IOMMU with the given configuration.
 func New(cfg Config) *IOMMU {
 	return &IOMMU{
-		cfg:    cfg,
-		pasids: make(map[uint32]*pagetable.Table),
-		iotlb:  make(map[tlbKey]pagetable.Entry),
+		cfg:      cfg,
+		pasids:   make(map[uint32]*pagetable.Table),
+		iotlb:    make(map[tlbKey]pagetable.Entry),
+		mHits:    metrics.GetCounter("iommu_iotlb_total", "event", "hit"),
+		mMisses:  metrics.GetCounter("iommu_iotlb_total", "event", "miss"),
+		mFaults:  metrics.GetCounter("iommu_translations_total", "result", "fault"),
+		mDenials: metrics.GetCounter("iommu_translations_total", "result", "denied"),
+		mWalks:   metrics.GetCounter("iommu_walks_total"),
 	}
 }
+
+// Counter helpers keep the long-standing int64 tallies and the metrics
+// plane in lockstep from every site that records an event.
+func (u *IOMMU) countTLBHit()  { u.tlbHits++; u.mHits.Inc() }
+func (u *IOMMU) countTLBMiss() { u.tlbMisses++; u.mMisses.Inc() }
+func (u *IOMMU) countFault()   { u.faults++; u.mFaults.Inc() }
+func (u *IOMMU) countDenial()  { u.denials++; u.mDenials.Inc() }
 
 // Config returns the active configuration.
 func (u *IOMMU) Config() Config { return u.cfg }
@@ -254,7 +273,7 @@ func (u *IOMMU) TranslateInto(req Request, segs []Segment) Result {
 			// Spurious translation fault: the device sees the same
 			// response as a revocation and the submitter must
 			// refault/refmap (paper §3.6's recovery path).
-			u.faults++
+			u.countFault()
 			return Result{Status: Fault, Latency: u.latency(0, 0, 1) + extra}
 		}
 		r := u.translateInto(req, segs)
@@ -272,7 +291,7 @@ func (u *IOMMU) translateInto(req Request, segs []Segment) Result {
 	}
 	table, ok := u.pasids[req.PASID]
 	if !ok {
-		u.faults++
+		u.countFault()
 		return Result{Status: Fault, Latency: u.latency(0, 0, 1)}
 	}
 	if req.Bytes <= 0 {
@@ -300,18 +319,19 @@ func (u *IOMMU) translateInto(req Request, segs []Segment) Result {
 			cached, inTLB = u.iotlb[tlbKey{req.PASID, pg}]
 		}
 		if inTLB {
-			u.tlbHits++
+			u.countTLBHit()
 			hits++
 			entry = cached
 			effRW = cached.RW()
 		} else {
 			walks++
+			u.mWalks.Inc()
 			if u.cfg.CacheFTEs {
-				u.tlbMisses++
+				u.countTLBMiss()
 			}
 			r := table.Walk(pg * pagetable.PageSize)
 			if !r.Found || !r.Entry.FT() {
-				u.faults++
+				u.countFault()
 				return Result{Status: Fault, Latency: u.latency(walks, hits, nPages), Walks: walks}
 			}
 			entry = r.Entry
@@ -326,11 +346,11 @@ func (u *IOMMU) translateInto(req Request, segs []Segment) Result {
 			}
 		}
 		if entry.DevID() != req.DevID {
-			u.denials++
+			u.countDenial()
 			return Result{Status: Denied, Latency: u.latency(walks, hits, nPages), Walks: walks}
 		}
 		if req.Write && !effRW {
-			u.denials++
+			u.countDenial()
 			return Result{Status: Denied, Latency: u.latency(walks, hits, nPages), Walks: walks}
 		}
 

@@ -103,17 +103,17 @@ func (u *IOMMU) translateRegion(r *regionMap, req Request, out []Segment) Result
 	}
 
 	if req.DevID != r.devID {
-		u.denials++
+		u.countDenial()
 		return Result{Status: Denied, Latency: lat()}
 	}
 	if req.Write && !r.writable {
-		u.denials++
+		u.countDenial()
 		return Result{Status: Denied, Latency: lat()}
 	}
 	off := req.VBA - r.base
 	end := off + uint64(req.Bytes)
 	if off%storage.SectorSize != 0 || req.Bytes%storage.SectorSize != 0 {
-		u.faults++
+		u.countFault()
 		return Result{Status: Fault, Latency: lat()}
 	}
 	for off < end {
@@ -121,7 +121,7 @@ func (u *IOMMU) translateRegion(r *regionMap, req Request, out []Segment) Result
 			return r.segs[i].Off+uint64(r.segs[i].Bytes) > off
 		})
 		if i == len(r.segs) || r.segs[i].Off > off {
-			u.faults++
+			u.countFault()
 			return Result{Status: Fault, Latency: lat()}
 		}
 		lookups++

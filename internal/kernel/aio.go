@@ -7,6 +7,7 @@ import (
 	"repro/internal/nvme"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // Linux-native AIO (io_submit/io_getevents) over O_DIRECT files.
@@ -89,6 +90,9 @@ func (c *AioContext) Submit(p *sim.Proc, ops []AioOp) error {
 		}
 		c.inflight++
 		op := op
+		// The span belongs to the submitting proc; capture it here so
+		// the helper proc's submissions mark the right request.
+		sp := trace.SpanFrom(p)
 		pr.M.Sim.Spawn("aio-op", func(w *sim.Proc) {
 			opcode := nvme.OpRead
 			if op.Write {
@@ -103,6 +107,7 @@ func (c *AioContext) Submit(p *sim.Proc, ops []AioOp) error {
 					SLBA:    s.Sector,
 					Sectors: s.Sectors,
 					Buf:     op.Buf[bufOff : bufOff+n],
+					Span:    sp,
 				})
 				if !st.OK() {
 					bad = fmt.Errorf("kernel: aio %v at sector %d on %s: %v",

@@ -13,9 +13,11 @@ import (
 	"repro/internal/ext4"
 	"repro/internal/faults"
 	"repro/internal/iommu"
+	"repro/internal/metrics"
 	"repro/internal/nvme"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // Config carries the software-stack cost model. Defaults come from
@@ -81,7 +83,14 @@ type Machine struct {
 	// layer absorbed by resubmitting.
 	BlockRetries int64
 
+	// Trace is the machine's span tracer, picked up from the globally
+	// armed trace plane at boot (or attached later via EnableTrace).
+	// Nil — the untriggered default — is inert.
+	Trace *trace.Tracer
+
 	kq *kernelQueue
+
+	mBlockRetries *metrics.Counter
 
 	nextPID   int
 	nextPASID uint32
@@ -156,7 +165,20 @@ func NewMachine(s *sim.Sim, cfg Config, dcfg device.Config, st *storage.Store) (
 	m.kq = &kernelQueue{m: m, q: q, waiters: make(map[uint16]*waiter)}
 	fs.SetBlockIO(&kernelBIO{m: m})
 	fs.SetInjector(m.Faults)
+	m.mBlockRetries = metrics.GetCounter("kernel_block_retries_total")
+	if tr := trace.NewFromActive(dcfg.Name); tr != nil {
+		m.EnableTrace(tr)
+	}
 	return m, nil
+}
+
+// EnableTrace attaches a span tracer to the machine and its file
+// system. Harnesses that want attribution without arming the global
+// plane (fio.Spec.Trace, the T6 experiment) call this with a
+// standalone trace.NewTracer.
+func (m *Machine) EnableTrace(tr *trace.Tracer) {
+	m.Trace = tr
+	m.FS.SetTracer(tr)
 }
 
 // writeLock returns the inode's i_rwsem equivalent.
@@ -213,6 +235,12 @@ func (k *kernelQueue) drain() {
 func (k *kernelQueue) submitAndWait(p *sim.Proc, e nvme.SQE) nvme.Status {
 	cid := k.allocCID()
 	e.CID = cid
+	if e.Span == nil {
+		// Pick up the span threaded through the proc by the layer that
+		// owns the request (BIO, XRP, io_uring's poller); AIO sets
+		// SQE.Span explicitly because it submits from a helper proc.
+		e.Span = trace.SpanFrom(p)
+	}
 	w := &waiter{}
 	k.waiters[cid] = w
 	if err := k.q.Submit(e); err != nil {
@@ -227,6 +255,7 @@ func (k *kernelQueue) submitAndWait(p *sim.Proc, e nvme.SQE) nvme.Status {
 		k.q.CQReady.Wait(p)
 	}
 	delete(k.waiters, cid)
+	e.Span.Complete(p.Now())
 	return w.status
 }
 
@@ -242,6 +271,7 @@ func (k *kernelQueue) submitRetry(p *sim.Proc, e nvme.SQE) nvme.Status {
 			return st
 		}
 		k.m.BlockRetries++
+		k.m.mBlockRetries.Inc()
 	}
 }
 

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // io_uring in SQPOLL mode with fixed buffers, the paper's strongest
@@ -26,6 +27,7 @@ type uringReq struct {
 	off   int64
 	buf   []byte
 	tag   interface{}
+	span  *trace.IOSpan // submitter's span, carried across the ring
 }
 
 // Uring is one ring pair with its SQPOLL kernel thread.
@@ -79,6 +81,9 @@ func (u *Uring) poll(p *sim.Proc) {
 		f, err := u.pr.fd(req.fd)
 		var n int
 		if err == nil {
+			// Thread the submitter's span through the FS → block →
+			// NVMe path for the duration of this request.
+			p.SetTraceCtx(req.span)
 			if req.write {
 				lock := m.writeLock(f.Ino.Ino)
 				lock.Acquire(p)
@@ -88,6 +93,7 @@ func (u *Uring) poll(p *sim.Proc) {
 			} else {
 				n, err = m.FS.ReadAt(p, f.Ino, req.off, req.buf)
 			}
+			p.SetTraceCtx(nil)
 		}
 		u.cq = append(u.cq, UringResult{Tag: req.tag, N: n, Err: err})
 		u.cqCond.Broadcast()
@@ -107,6 +113,7 @@ func (u *Uring) SubmitWrite(p *sim.Proc, fd int, data []byte, off int64, tag int
 
 func (u *Uring) submit(p *sim.Proc, r uringReq) {
 	u.pr.M.CPU.Compute(p, 50*sim.Nanosecond) // SQE store + doorbell-free publish
+	r.span = trace.SpanFrom(p)
 	u.sq = append(u.sq, r)
 	u.sqCond.Broadcast()
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Opcode identifies an NVMe I/O command.
@@ -114,6 +115,11 @@ type SQE struct {
 	// Sectors*SectorSize. In hardware this would be a PRP/SGL; the
 	// simulation passes the pinned buffer directly.
 	Buf []byte
+
+	// Span is the observability plane's per-request context; the
+	// device marks its service window on it. Nil when tracing is off
+	// (every span method is a nil-safe no-op).
+	Span *trace.IOSpan
 }
 
 // CQE is a completion queue entry.

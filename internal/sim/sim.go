@@ -144,6 +144,7 @@ type Proc struct {
 	name  string
 	wake  chan struct{}
 	state procState
+	trace any
 }
 
 // Name returns the name given at spawn time.
@@ -154,6 +155,15 @@ func (p *Proc) Sim() *Sim { return p.sim }
 
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.sim.now }
+
+// SetTraceCtx attaches an opaque per-request trace context to the
+// proc (the observability plane's span, threaded through layers that
+// don't pass request structs). Procs run cooperatively, so the slot
+// needs no synchronization. Set nil to clear.
+func (p *Proc) SetTraceCtx(v any) { p.trace = v }
+
+// TraceCtx returns the context set by SetTraceCtx, or nil.
+func (p *Proc) TraceCtx() any { return p.trace }
 
 // killed is the panic payload used to unwind procs during Shutdown.
 type killed struct{}

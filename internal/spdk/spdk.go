@@ -14,6 +14,7 @@ import (
 	"repro/internal/nvme"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // Config is the userspace driver cost model.
@@ -118,6 +119,7 @@ const doRetries = 3
 
 // do submits one raw command and busy-polls completion.
 func (q *Queue) do(p *sim.Proc, op nvme.Opcode, sector int64, buf []byte) error {
+	sp := trace.SpanFrom(p)
 	for attempt := 0; ; attempt++ {
 		q.cid++
 		if err := q.q.Submit(nvme.SQE{
@@ -126,6 +128,7 @@ func (q *Queue) do(p *sim.Proc, op nvme.Opcode, sector int64, buf []byte) error 
 			SLBA:    sector,
 			Sectors: int64(len(buf)) / storage.SectorSize,
 			Buf:     buf,
+			Span:    sp,
 		}); err != nil {
 			return err
 		}
@@ -137,6 +140,7 @@ func (q *Queue) do(p *sim.Proc, op nvme.Opcode, sector int64, buf []byte) error 
 			}
 			q.d.cpu.BusyWait(p, q.q.CQReady)
 		}
+		sp.Complete(p.Now())
 		if c.Status.OK() {
 			return nil
 		}
@@ -206,11 +210,13 @@ func (q *Queue) WriteAt(p *sim.Proc, r Region, data []byte, off int64) (int, err
 // Flush issues an NVMe flush.
 func (q *Queue) Flush(p *sim.Proc) error {
 	q.cid++
-	if err := q.q.Submit(nvme.SQE{Opcode: nvme.OpFlush, CID: q.cid}); err != nil {
+	sp := trace.SpanFrom(p)
+	if err := q.q.Submit(nvme.SQE{Opcode: nvme.OpFlush, CID: q.cid, Span: sp}); err != nil {
 		return err
 	}
 	for {
 		if c, ok := q.q.PopCQE(); ok {
+			sp.Complete(p.Now())
 			if !c.Status.OK() {
 				return fmt.Errorf("spdk: flush: %v", c.Status)
 			}

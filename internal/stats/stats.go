@@ -7,7 +7,7 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
+	"math/bits"
 	"sync"
 
 	"repro/internal/sim"
@@ -16,9 +16,11 @@ import (
 // Histogram records latency samples in logarithmic buckets
 // (HDR-histogram style: power-of-two major buckets each split into 32
 // linear sub-buckets), giving <3.2% relative error across the full
-// nanosecond-to-second range with constant memory.
+// nanosecond-to-second range with constant memory. Bucket counts live
+// in a dense slice indexed by bucket number, so percentile queries are
+// a single allocation-free scan.
 type Histogram struct {
-	counts map[int]int64
+	counts []int64
 	total  int64
 	sum    float64
 	min    sim.Time
@@ -29,7 +31,7 @@ const subBuckets = 32
 
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram {
-	return &Histogram{counts: make(map[int]int64), min: math.MaxInt64}
+	return &Histogram{min: math.MaxInt64}
 }
 
 // bucketOf maps a sample to its bucket index.
@@ -41,10 +43,10 @@ func bucketOf(v sim.Time) int {
 		return int(v)
 	}
 	// major = floor(log2(v)) relative to subBuckets scale
-	major := 63 - leadingZeros(uint64(v))
+	major := bits.Len64(uint64(v)) - 1
 	shift := major - 5 // log2(subBuckets)
 	sub := int(v >> uint(shift) & (subBuckets - 1))
-	return (int(major)-4)*subBuckets + sub
+	return (major-4)*subBuckets + sub
 }
 
 // bucketLow returns the smallest value mapping to bucket index b.
@@ -58,21 +60,24 @@ func bucketLow(b int) sim.Time {
 	return sim.Time((int64(1)<<uint(major) + int64(sub)<<uint(shift)))
 }
 
-func leadingZeros(x uint64) int {
-	n := 0
-	if x == 0 {
-		return 64
+// grow extends the dense bucket slice to hold index n-1, with slack
+// so repeated growth is amortized.
+func (h *Histogram) grow(n int) {
+	if c := 2 * len(h.counts); n < c {
+		n = c
 	}
-	for x&(1<<63) == 0 {
-		x <<= 1
-		n++
-	}
-	return n
+	counts := make([]int64, n)
+	copy(counts, h.counts)
+	h.counts = counts
 }
 
 // Add records one sample.
 func (h *Histogram) Add(v sim.Time) {
-	h.counts[bucketOf(v)]++
+	b := bucketOf(v)
+	if b >= len(h.counts) {
+		h.grow(b + 1)
+	}
+	h.counts[b]++
 	h.total++
 	h.sum += float64(v)
 	if v < h.min {
@@ -107,7 +112,8 @@ func (h *Histogram) Max() sim.Time { return h.max }
 
 // Percentile reports the value at quantile q in [0,100], e.g. 99.9.
 // The value returned is the lower bound of the bucket containing the
-// quantile sample.
+// quantile sample. The dense bucket slice is already in value order,
+// so this is one allocation-free scan.
 func (h *Histogram) Percentile(q float64) sim.Time {
 	if h.total == 0 {
 		return 0
@@ -116,16 +122,14 @@ func (h *Histogram) Percentile(q float64) sim.Time {
 	if rank < 1 {
 		rank = 1
 	}
-	keys := make([]int, 0, len(h.counts))
-	for k := range h.counts {
-		keys = append(keys, k)
-	}
-	sort.Ints(keys)
 	var seen int64
-	for _, k := range keys {
-		seen += h.counts[k]
+	for b, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		seen += c
 		if seen >= rank {
-			return bucketLow(k)
+			return bucketLow(b)
 		}
 	}
 	return h.max
@@ -133,8 +137,11 @@ func (h *Histogram) Percentile(q float64) sim.Time {
 
 // Merge folds other's samples into h.
 func (h *Histogram) Merge(other *Histogram) {
-	for k, c := range other.counts {
-		h.counts[k] += c
+	if len(other.counts) > len(h.counts) {
+		h.grow(len(other.counts))
+	}
+	for b, c := range other.counts {
+		h.counts[b] += c
 	}
 	h.total += other.total
 	h.sum += other.sum

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"strings"
@@ -74,6 +75,66 @@ func TestBucketBoundsProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBucketInverseFullRange walks every bucket index the encoding can
+// produce and checks bucketOf and bucketLow stay exact inverses, so a
+// change to either (e.g. the math/bits major computation) cannot skew
+// one end of the range silently.
+func TestBucketInverseFullRange(t *testing.T) {
+	maxIdx := bucketOf(sim.Time(math.MaxInt64))
+	for b := 0; b <= maxIdx; b++ {
+		low := bucketLow(b)
+		if got := bucketOf(low); got != b {
+			t.Fatalf("bucketOf(bucketLow(%d)) = %d", b, got)
+		}
+		if b > 0 && bucketLow(b-1) >= low {
+			t.Fatalf("bucketLow not strictly increasing at %d: %v >= %v", b, bucketLow(b-1), low)
+		}
+	}
+	// Boundary samples land in the bucket whose [low, nextLow) range
+	// contains them, across the whole 63-bit domain.
+	for shift := uint(5); shift < 63; shift++ {
+		for _, v := range []sim.Time{1<<shift - 1, 1 << shift, 1<<shift + 1} {
+			b := bucketOf(v)
+			if low := bucketLow(b); low > v {
+				t.Fatalf("bucketLow(%d) = %v > sample %v", b, low, v)
+			}
+			if b < maxIdx {
+				if next := bucketLow(b + 1); next <= v {
+					t.Fatalf("sample %v at bucket %d overlaps next bucket (low %v)", v, b, next)
+				}
+			}
+		}
+	}
+}
+
+// Percentile must not allocate: it used to rebuild and sort the bucket
+// key set on every call.
+func TestPercentileAllocFree(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		h.Add(sim.Time(rng.Intn(1 << 30)))
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		_ = h.Percentile(99)
+	}); allocs != 0 {
+		t.Fatalf("Percentile allocates %v per call, want 0", allocs)
+	}
+}
+
+func BenchmarkPercentile(b *testing.B) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100000; i++ {
+		h.Add(sim.Time(rng.Intn(1 << 30)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Percentile(99.9)
 	}
 }
 

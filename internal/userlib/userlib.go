@@ -18,9 +18,11 @@ import (
 	"repro/internal/ext4"
 	"repro/internal/faults"
 	"repro/internal/kernel"
+	"repro/internal/metrics"
 	"repro/internal/nvme"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // Config tunes the library's cost model and resources.
@@ -53,12 +55,17 @@ type Config struct {
 	// RetryBackoff is the first retry's delay; each further retry
 	// doubles it. <= 0 means the default (5 µs).
 	RetryBackoff sim.Time
+	// MaxBackoff caps the doubled delay. Without the cap a large
+	// MaxRetries overflows sim.Time into a negative sleep (which the
+	// scheduler rejects by panicking). <= 0 means the default (1 ms).
+	MaxBackoff sim.Time
 }
 
 // Retry defaults, applied by New when the Config leaves them unset.
 const (
 	defaultMaxRetries   = 3
 	defaultRetryBackoff = 5 * sim.Microsecond
+	defaultMaxBackoff   = 1 * sim.Millisecond
 )
 
 // DefaultConfig returns the calibration documented in DESIGN.md.
@@ -122,10 +129,25 @@ type Lib struct {
 	Refmaps     int64 // fmap() retries after faults
 	Stats       Stats // fault-path event counters
 
+	// Metrics handles mirroring the counters above (nil-inert when no
+	// registry is active); kept in lockstep by the count* helpers.
+	mDirect, mKernel   *metrics.Counter
+	mRefmaps, mRetries *metrics.Counter
+	mDegrades          *metrics.Counter
+	mInjected          *metrics.Counter
+
 	shared      *Thread   // shared-queue ablation state
 	sharedReady *sim.Cond // signalled once the shared queue exists
 	sharedErr   error     // why shared-queue setup failed, if it did
 }
+
+// Counter helpers keep the exported tallies and the metrics plane in
+// lockstep from every site that records an event.
+func (l *Lib) countDirect()   { l.DirectOps++; l.mDirect.Inc() }
+func (l *Lib) countFallback() { l.FallbackOps++; l.mKernel.Inc() }
+func (l *Lib) countRetry()    { l.Stats.Retries++; l.mRetries.Inc() }
+func (l *Lib) countDegrade()  { l.Stats.Fallbacks++; l.mDegrades.Inc() }
+func (l *Lib) countInjected() { l.Stats.InjectedFaults++; l.mInjected.Inc() }
 
 // New creates the library instance for a process.
 func New(pr *kernel.Process, cfg Config) *Lib {
@@ -135,7 +157,20 @@ func New(pr *kernel.Process, cfg Config) *Lib {
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = defaultRetryBackoff
 	}
-	return &Lib{Proc: pr, cfg: cfg, files: make(map[int]*FileState)}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = defaultMaxBackoff
+	}
+	return &Lib{
+		Proc:      pr,
+		cfg:       cfg,
+		files:     make(map[int]*FileState),
+		mDirect:   metrics.GetCounter("userlib_ops_total", "path", "direct"),
+		mKernel:   metrics.GetCounter("userlib_ops_total", "path", "kernel"),
+		mRefmaps:  metrics.GetCounter("userlib_refmaps_total"),
+		mRetries:  metrics.GetCounter("userlib_retries_total"),
+		mDegrades: metrics.GetCounter("userlib_degrades_total"),
+		mInjected: metrics.GetCounter("userlib_injected_faults_total"),
+	}
 }
 
 // devName names the device the library talks to (error context).
@@ -298,6 +333,7 @@ func (t *Thread) doVBA(p *sim.Proc, op nvme.Opcode, vba uint64, buf []byte) nvme
 		VBA:     vba,
 		Sectors: int64(len(buf)) / storage.SectorSize,
 		Buf:     buf,
+		Span:    trace.SpanFrom(p),
 	}
 	start := p.Now()
 	if err := t.q.Submit(e); err != nil {
@@ -307,17 +343,26 @@ func (t *Thread) doVBA(p *sim.Proc, op nvme.Opcode, vba uint64, buf []byte) nvme
 	for {
 		if c, ok := t.q.PopCQE(); ok {
 			t.DeviceNS += p.Now() - start
+			e.Span.Complete(p.Now())
 			return c.Status
 		}
 		m.CPU.BusyWait(p, t.q.CQReady)
 	}
 }
 
-// backoff returns the exponential delay before retry n (1-based).
+// backoff returns the exponential delay before retry n (1-based),
+// clamped to MaxBackoff. The clamp is checked before each doubling so
+// a large n cannot overflow sim.Time into a negative sleep.
 func (l *Lib) backoff(n int) sim.Time {
 	d := l.cfg.RetryBackoff
 	for i := 1; i < n; i++ {
+		if d >= l.cfg.MaxBackoff/2 {
+			return l.cfg.MaxBackoff
+		}
 		d *= 2
+	}
+	if d > l.cfg.MaxBackoff {
+		d = l.cfg.MaxBackoff
 	}
 	return d
 }
@@ -326,7 +371,7 @@ func (l *Lib) backoff(n int) sim.Time {
 // fallback leg of the §3.6 state machine) and counts the event.
 func (l *Lib) degrade(fs *FileState) {
 	fs.Base = 0
-	l.Stats.Fallbacks++
+	l.countDegrade()
 }
 
 // opError wraps a direct-path failure with the device name, queue ID
@@ -360,13 +405,13 @@ func (t *Thread) vbaRetry(p *sim.Proc, fs *FileState, op nvme.Opcode, alignedOff
 		if inj.Fire(faults.SiteQueueFull) {
 			// Injected submission backpressure: treat exactly like a
 			// full ring — back off, then resubmit.
-			l.Stats.InjectedFaults++
+			l.countInjected()
 			if retries >= l.cfg.MaxRetries {
 				l.degrade(fs)
 				return nvme.StatusCommandTimeout, true
 			}
 			retries++
-			l.Stats.Retries++
+			l.countRetry()
 			p.Sleep(l.backoff(retries))
 			continue
 		}
@@ -385,20 +430,20 @@ func (t *Thread) vbaRetry(p *sim.Proc, fs *FileState, op nvme.Opcode, alignedOff
 			if !t.refmap(p, fs) {
 				// fmap() returned VBA 0: access revoked; refmap
 				// already cleared fs.Base.
-				l.Stats.Fallbacks++
+				l.countDegrade()
 				return st, true
 			}
-			l.Stats.Retries++
+			l.countRetry()
 		case st.Transient():
 			// Media error or command timeout — only the fault plane
 			// produces these.
-			l.Stats.InjectedFaults++
+			l.countInjected()
 			if retries >= l.cfg.MaxRetries {
 				l.degrade(fs)
 				return st, true
 			}
 			retries++
-			l.Stats.Retries++
+			l.countRetry()
 			p.Sleep(l.backoff(retries))
 		default:
 			return st, false // hard error: caller reports it
@@ -410,6 +455,7 @@ func (t *Thread) vbaRetry(p *sim.Proc, fs *FileState, op nvme.Opcode, alignedOff
 // the file permanently falls back to the kernel interface (§3.6).
 func (t *Thread) refmap(p *sim.Proc, fs *FileState) bool {
 	t.Lib.Refmaps++
+	t.Lib.mRefmaps.Inc()
 	fmap := t.Lib.Proc.Fmap
 	if t.Lib.cfg.ExtentFmap {
 		fmap = t.Lib.Proc.FmapRegion
@@ -432,7 +478,7 @@ func (t *Thread) Pread(p *sim.Proc, fd int, buf []byte, off int64) (int, error) 
 		return 0, err
 	}
 	if !fs.Direct() {
-		l.FallbackOps++
+		l.countFallback()
 		return l.Proc.Pread(p, fd, buf, off)
 	}
 	if off >= fs.Size {
@@ -474,7 +520,7 @@ func (t *Thread) Pread(p *sim.Proc, fd int, buf []byte, off int64) (int, error) 
 	st, fellBack := t.vbaRetry(p, fs, nvme.OpRead, alignedOff, dma)
 	if fellBack {
 		t.release()
-		l.FallbackOps++
+		l.countFallback()
 		return l.Proc.Pread(p, fd, buf, off)
 	}
 	if !st.OK() {
@@ -486,7 +532,7 @@ func (t *Thread) Pread(p *sim.Proc, fd int, buf []byte, off int64) (int, error) 
 	copy(buf[:n], dma[off-alignedOff:])
 	t.UserNS += p.Now() - uStart
 	t.release()
-	l.DirectOps++
+	l.countDirect()
 	return int(n), nil
 }
 
@@ -503,7 +549,7 @@ func (t *Thread) Pwrite(p *sim.Proc, fd int, data []byte, off int64) (int, error
 		return 0, ext4.ErrPerm
 	}
 	if !fs.Direct() {
-		l.FallbackOps++
+		l.countFallback()
 		n, err := l.Proc.Pwrite(p, fd, data, off)
 		if off+int64(n) > fs.Size {
 			fs.Size = off + int64(n)
@@ -514,7 +560,7 @@ func (t *Thread) Pwrite(p *sim.Proc, fd int, data []byte, off int64) (int, error
 	if off+n > fs.Size {
 		// Append: modifies metadata, so the kernel handles it and
 		// issues the write directly to the device without buffering.
-		l.FallbackOps++
+		l.countFallback()
 		w, err := l.Proc.Pwrite(p, fd, data, off)
 		if off+int64(w) > fs.Size {
 			fs.Size = off + int64(w)
@@ -555,7 +601,7 @@ func (t *Thread) Pwrite(p *sim.Proc, fd int, data []byte, off int64) (int, error
 	st, fellBack := t.vbaRetry(p, fs, nvme.OpWrite, off, dma)
 	if fellBack {
 		t.release()
-		l.FallbackOps++
+		l.countFallback()
 		return l.Proc.Pwrite(p, fd, data, off)
 	}
 	t.release()
@@ -565,7 +611,7 @@ func (t *Thread) Pwrite(p *sim.Proc, fd int, data []byte, off int64) (int, error
 	if f, err := l.Proc.FDInfo(fd); err == nil {
 		f.MarkTimesDirty()
 	}
-	l.DirectOps++
+	l.countDirect()
 	return int(n), nil
 }
 
@@ -620,13 +666,13 @@ func (t *Thread) partialWrite(p *sim.Proc, fs *FileState, data []byte, off int64
 		// The RMW lost its mapping mid-flight: the kernel path writes
 		// the sub-sector payload itself (the partial-offset locks held
 		// here still exclude concurrent overlapping partials).
-		l.FallbackOps++
+		l.countFallback()
 		return l.Proc.Pwrite(p, fs.FD, data, off)
 	}
 	if !st.OK() {
 		return 0, t.opError("rmw", fs, off, st)
 	}
-	l.DirectOps++
+	l.countDirect()
 	return int(n), nil
 }
 
@@ -658,13 +704,15 @@ func (t *Thread) Write(p *sim.Proc, fd int, data []byte) (int, error) {
 func (t *Thread) Fsync(p *sim.Proc, fd int) error {
 	t.acquire(p)
 	t.cid++
-	if err := t.q.Submit(nvme.SQE{Opcode: nvme.OpFlush, CID: t.cid}); err != nil {
+	sp := trace.SpanFrom(p)
+	if err := t.q.Submit(nvme.SQE{Opcode: nvme.OpFlush, CID: t.cid, Span: sp}); err != nil {
 		t.release()
 		return err
 	}
 	m := t.Lib.Proc.M
 	for {
 		if c, ok := t.q.PopCQE(); ok {
+			sp.Complete(p.Now())
 			if !c.Status.OK() {
 				t.release()
 				return fmt.Errorf("userlib: flush (dev %s, queue %d): nvme status %v",
