@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 FUZZ_TARGETS := FuzzExtentTree FuzzRename
 
-.PHONY: all build test race vet bench fuzz check trace-smoke clean
+.PHONY: all build test race vet bench bench-json bench-check fuzz check trace-smoke clean
 
 all: check
 
@@ -24,6 +24,22 @@ vet:
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
+# bench-json regenerates the committed benchmark snapshot for the
+# translation fast path (Fig. 6/9 harnesses plus the headline 4 KiB
+# read). Set BASELINE=<old bench output file> to embed a before/after
+# pair in the JSON.
+bench-json:
+	$(GO) test -bench 'Fig6LatBW|Fig9Scaling|Direct4KRead' -benchmem -run '^$$' . \
+		| $(GO) run ./cmd/benchjson $(if $(BASELINE),-baseline $(BASELINE)) -o BENCH_PR4.json
+	@echo wrote BENCH_PR4.json
+
+# bench-check is the allocation-budget regression gate: the end-to-end
+# 4 KiB BypassD read must stay within its allocs/op budget (see
+# TestDirect4KReadAllocBudget). Opt-in via BENCH_CHECK=1 so ordinary
+# test runs never flake on allocation noise.
+bench-check:
+	BENCH_CHECK=1 $(GO) test -run TestDirect4KReadAllocBudget -count=1 -v .
+
 # fuzz runs each native fuzz target for FUZZTIME (go test -fuzz takes
 # exactly one target per invocation, hence the loop).
 fuzz:
@@ -43,9 +59,9 @@ trace-smoke:
 		grep -q '== metrics ==' $$tmp/out.txt; \
 		$$tmp/tracecheck -min 100 $$tmp/trace.json
 
-# check is the default gate: build, vet, full tests, and the race
-# detector over the whole tree.
-check: build vet test race
+# check is the default gate: build, vet, full tests, the race
+# detector over the whole tree, and the allocation-budget gate.
+check: build vet test race bench-check
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,60 @@
+package bypassd
+
+import (
+	"os"
+	"testing"
+)
+
+// direct4KRead is one iteration of BenchmarkDirect4KRead: boot a
+// system, create a file, and issue one warm 4 KiB BypassD read.
+func direct4KRead(t testing.TB) {
+	sys, err := New(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Run(sys, "alloc-check", func(p *Proc) {
+		pr := sys.NewProcess(RootCred)
+		fd, err := pr.Create(p, "/bench", 0o644)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := pr.Fallocate(p, fd, 1<<20); err != nil {
+			t.Error(err)
+			return
+		}
+		_ = pr.Fsync(p, fd)
+		_ = pr.Close(p, fd)
+		io, err := sys.NewFileIO(p, sys.NewProcess(RootCred), EngineBypassD)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		f, _ := io.Open(p, "/bench", false)
+		buf := make([]byte, 4096)
+		_, _ = io.Pread(p, f, buf, 0) // warm
+		if _, err := io.Pread(p, f, buf, 4096); err != nil {
+			t.Error(err)
+		}
+	})
+	sys.Sim.Shutdown()
+}
+
+// TestDirect4KReadAllocBudget is the `make bench-check` regression
+// gate: the end-to-end 4 KiB read path must not creep back above its
+// allocation budget (BENCH_PR4.json records the measured trajectory).
+// Gated behind BENCH_CHECK=1 so ordinary `go test ./...` runs — which
+// share the process with unrelated parallel tests — don't flake on
+// cross-test allocation noise.
+func TestDirect4KReadAllocBudget(t *testing.T) {
+	if os.Getenv("BENCH_CHECK") == "" {
+		t.Skip("set BENCH_CHECK=1 to enforce the allocation budget (make bench-check)")
+	}
+	const budget = 412
+	direct4KRead(t) // warm sync.Pools and lazy global state
+	allocs := testing.AllocsPerRun(5, func() { direct4KRead(t) })
+	t.Logf("Direct4KRead: %.0f allocs/op (budget %d)", allocs, budget)
+	if allocs > budget {
+		t.Fatalf("Direct4KRead allocates %.0f objects/op, budget is %d — the hot path regressed", allocs, budget)
+	}
+}

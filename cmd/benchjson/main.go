@@ -1,0 +1,165 @@
+// Command benchjson converts `go test -bench` text output into a
+// stable JSON document, so benchmark numbers can be committed and
+// diffed across PRs (see `make bench-json`, which writes
+// BENCH_PR4.json).
+//
+//	go test -bench 'Fig6LatBW' -benchmem -run '^$' . | benchjson -o out.json
+//	benchjson -baseline old-bench.txt -o out.json < new-bench.txt
+//
+// Every metric pair the testing package prints is kept, including
+// custom b.ReportMetric units such as virtual-ns/op. The optional
+// -baseline flag parses a second bench-output file and embeds it under
+// "baseline" so one committed file carries the before/after pair.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// benchLine is one parsed Benchmark result row.
+type benchLine struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// benchRun is a whole `go test -bench` invocation.
+type benchRun struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []benchLine `json:"benchmarks"`
+}
+
+// output is the document benchjson writes.
+type output struct {
+	GeneratedBy string    `json:"generated_by"`
+	GoVersion   string    `json:"go_version,omitempty"`
+	Run         benchRun  `json:"run"`
+	Baseline    *benchRun `json:"baseline,omitempty"`
+}
+
+// parseBench reads `go test -bench` output, keeping the header
+// key: value lines and every Benchmark row.
+func parseBench(r io.Reader) (benchRun, error) {
+	var run benchRun
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			run.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			run.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			run.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			run.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			bl, ok := parseBenchLine(line)
+			if !ok {
+				continue // a benchmark name echoed without results
+			}
+			run.Benchmarks = append(run.Benchmarks, bl)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return run, err
+	}
+	if len(run.Benchmarks) == 0 {
+		return run, fmt.Errorf("no Benchmark result lines found")
+	}
+	return run, nil
+}
+
+// parseBenchLine parses one result row:
+//
+//	BenchmarkFig6LatBW-8   18   64613020 ns/op   9145056 B/op   28489 allocs/op
+func parseBenchLine(line string) (benchLine, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return benchLine{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	procs := 0
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			procs = p
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchLine{}, false
+	}
+	bl := benchLine{Name: name, Procs: procs, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchLine{}, false
+		}
+		bl.Metrics[fields[i+1]] = v
+	}
+	return bl, true
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		outPath  = flag.String("o", "", "write JSON here instead of stdout")
+		baseline = flag.String("baseline", "", "optional prior `go test -bench` text output to embed under \"baseline\"")
+	)
+	flag.Parse()
+
+	cur, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: parse stdin: %v\n", err)
+		return 1
+	}
+	doc := output{GeneratedBy: "make bench-json", GoVersion: runtime.Version(), Run: cur}
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		base, err := parseBench(f)
+		_ = f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parse %s: %v\n", *baseline, err)
+			return 1
+		}
+		doc.Baseline = &base
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if *outPath == "" {
+		_, err = os.Stdout.Write(data)
+	} else {
+		err = os.WriteFile(*outPath, data, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	return 0
+}

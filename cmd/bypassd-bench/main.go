@@ -10,6 +10,7 @@
 //	bypassd-bench -faults chaos   # run under a named fault-injection profile
 //	bypassd-bench -trace t.json   # per-request spans as Chrome trace-event JSON
 //	bypassd-bench -metrics        # print the unified metrics registry after the run
+//	bypassd-bench -cpuprofile cpu.pprof -memprofile mem.pprof  # host-level pprof profiles
 //
 // Reports go to stdout in the experiments' registered order and are
 // byte-identical at any -j value; progress and timing lines go to
@@ -22,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -56,6 +58,12 @@ type jsonRun struct {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main minus os.Exit, so the profile-writing defers installed
+// for -cpuprofile/-memprofile always flush before the process ends.
+func run() int {
 	var (
 		runList  = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
 		full     = flag.Bool("full", false, "paper-scale sweeps instead of quick mode")
@@ -67,8 +75,41 @@ func main() {
 		faultsP  = flag.String("faults", "", "fault-injection profile name (see -list); empty = disabled")
 		traceOut = flag.String("trace", "", "write per-request spans to this file (Chrome trace-event JSON)")
 		metricsF = flag.Bool("metrics", false, "print the unified metrics registry to stdout after the run")
+		cpuProf  = flag.String("cpuprofile", "", "write a host CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a host allocation profile (after the run) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create %s: %v\n", *cpuProf, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "start cpu profile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			_ = f.Close()
+		}()
+	}
+	if *memProf != "" {
+		path := *memProf
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "create %s: %v\n", path, err)
+				return
+			}
+			runtime.GC() // settle live objects so alloc_space dominates
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "write heap profile: %v\n", err)
+			}
+			_ = f.Close()
+		}()
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -78,13 +119,13 @@ func main() {
 		for _, p := range faults.Profiles() {
 			fmt.Printf("%-14s %s\n", p.Name, p.Desc)
 		}
-		return
+		return 0
 	}
 
 	if *faultsP != "" {
 		if _, ok := faults.ProfileByName(*faultsP); !ok {
 			fmt.Fprintf(os.Stderr, "unknown fault profile %q (try -list)\n", *faultsP)
-			os.Exit(1)
+			return 1
 		}
 	}
 
@@ -236,6 +277,7 @@ func main() {
 		}
 	}
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -51,8 +51,49 @@ func runA1(o Options) (*Report, error) {
 		}
 		tb.AddRow(label, points[i].lat, points[i].bw)
 	}
-	return &Report{ID: "A1", Title: "IOTLB FTE caching", Tables: []*stats.Table{tb},
-		Notes: []string{"difference is small: caching FTEs in the IOTLB is not critical (paper §6.3)"}}, nil
+
+	// Paging-structure-cache sweep: the same workload with the PWC
+	// disabled, at the byte-identity default (hits priced like full
+	// walks), and with hits modeled as a single leaf fetch (~183ns/3
+	// levels saved off the walk and off the 550ns floor).
+	pwcSpecs := []struct {
+		label string
+		spec  fio.Spec
+	}{
+		{"disabled", fio.Spec{VBAFixedLatency: -1, PWCEntries: -1}},
+		{"32 entries, hits priced as full walks (default)", fio.Spec{VBAFixedLatency: -1}},
+		{"32 entries, 61ns hit walk / 430ns floor", fio.Spec{
+			VBAFixedLatency:   -1,
+			PWCHitWalkLatency: 61 * sim.Nanosecond,
+			PWCMinTranslation: 430 * sim.Nanosecond,
+		}},
+	}
+	pwcPoints, err := sweepMap(o, len(pwcSpecs), func(i int) (point, error) {
+		spec := pwcSpecs[i].spec
+		spec.Seed = o.Seed
+		res, err := fio.Run(spec, []fio.Group{{
+			Name: "m", Engine: core.EngineBypassD, BS: 4096, Threads: 1,
+			OpsPerThread: ops, FileBytes: 1 << 20,
+		}})
+		if err != nil {
+			return point{}, err
+		}
+		return point{res["m"].Lat.Mean().Micros(), res["m"].Bandwidth() / 1e9}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tp := stats.NewTable("A1b: 4KB random read vs paging-structure cache model",
+		"PWC", "latency (µs)", "bandwidth (GB/s)")
+	for i, v := range pwcSpecs {
+		tp.AddRow(v.label, pwcPoints[i].lat, pwcPoints[i].bw)
+	}
+
+	return &Report{ID: "A1", Title: "IOTLB FTE caching", Tables: []*stats.Table{tb, tp},
+		Notes: []string{
+			"difference is small: caching FTEs in the IOTLB is not critical (paper §6.3)",
+			"default PWC pricing reproduces the pre-PWC figures byte-for-byte (DESIGN.md §10)",
+		}}, nil
 }
 
 // runA2 compares per-thread queues with one shared, locked queue at 8

@@ -55,6 +55,24 @@ func TestFaultedRunsParallelismInvariant(t *testing.T) {
 	}
 }
 
+// TestRevokeStormParallelTranslation drives the translation fast path
+// (WalkRange streaming, PWC lookups, indexed IOTLB invalidation)
+// concurrently with fmap attach / revoke detach across parallel sweep
+// cells under the revoke-storm profile. Each cell owns a private
+// machine, so under -race this guards the fast path's data-sharing
+// discipline (resident *Node pointers must never leak across cells);
+// it also pins -j invariance for the revoke-heavy workload.
+func TestRevokeStormParallelTranslation(t *testing.T) {
+	for _, id := range faultTestIDs {
+		seq := runWithFaults(t, id, "revoke-storm", 11, 1)
+		par := runWithFaults(t, id, "revoke-storm", 11, 8)
+		if seq != par {
+			t.Errorf("%s under revoke-storm: report differs between -j 1 and -j 8:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				id, seq, par)
+		}
+	}
+}
+
 // TestCleanRunUnaffectedByPriorFaults guards the "disabled injector is
 // structurally invisible" property: a clean run after a faulted run is
 // byte-identical to a clean run before any profile was ever armed.

@@ -62,7 +62,16 @@ type Spec struct {
 	// (Fig. 8); negative keeps the computed model.
 	VBAFixedLatency sim.Time
 	CacheFTEs       bool
-	Seed            int64
+	// PWCEntries sizes the IOMMU's paging-structure cache for ablation
+	// sweeps: 0 keeps the default, negative disables the cache.
+	PWCEntries int
+	// PWCHitWalkLatency / PWCMinTranslation model a PWC hit as a
+	// cheaper walk (DESIGN.md §10). Zero keeps the default sentinels
+	// (PWC hits charged like full walks — the byte-identity default);
+	// negative forces the sentinel explicitly.
+	PWCHitWalkLatency sim.Time
+	PWCMinTranslation sim.Time
+	Seed              int64
 	// Trace attaches a span tracer to the machine even when the global
 	// trace plane is off, so GroupResult.Phases is populated.
 	Trace bool
@@ -86,6 +95,23 @@ func Run(spec Spec, groups []Group) (map[string]*GroupResult, error) {
 	defer sys.Sim.Shutdown()
 	sys.M.MMU.SetFixedVBALatency(spec.VBAFixedLatency)
 	sys.M.MMU.SetCacheFTEs(spec.CacheFTEs)
+	if spec.PWCEntries != 0 || spec.PWCHitWalkLatency != 0 || spec.PWCMinTranslation != 0 {
+		cfg := sys.M.MMU.Config()
+		entries := cfg.PWCEntries
+		if spec.PWCEntries > 0 {
+			entries = spec.PWCEntries
+		} else if spec.PWCEntries < 0 {
+			entries = 0
+		}
+		hitWalk, minTrans := cfg.PWCHitWalkLatency, cfg.PWCMinTranslation
+		if spec.PWCHitWalkLatency != 0 {
+			hitWalk = spec.PWCHitWalkLatency
+		}
+		if spec.PWCMinTranslation != 0 {
+			minTrans = spec.PWCMinTranslation
+		}
+		sys.M.MMU.SetPWCConfig(entries, hitWalk, minTrans)
+	}
 	if spec.Trace && sys.M.Trace == nil {
 		sys.M.EnableTrace(trace.NewTracer("fio"))
 	}

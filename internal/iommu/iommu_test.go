@@ -106,9 +106,175 @@ func TestRevokedMappingFaults(t *testing.T) {
 	if r := u.Translate(Request{PASID: 1, DevID: testDev, VBA: base, Bytes: 4096}); r.Status != OK {
 		t.Fatalf("pre-revocation status = %v", r.Status)
 	}
-	ft.Detach(tab, base) // kernel revokes direct access
+	// Kernel revokes direct access: detach, then invalidate — the same
+	// IOTLB + paging-structure-cache invalidation a real IOMMU needs
+	// after any page-table update (the kernel's revoke path always
+	// pairs the two).
+	ft.Detach(tab, base)
+	u.InvalidateRange(1, base, 8192)
 	if r := u.Translate(Request{PASID: 1, DevID: testDev, VBA: base, Bytes: 4096}); r.Status != Fault {
 		t.Fatalf("post-revocation status = %v, want fault", r.Status)
+	}
+}
+
+// TestPWCStaleTranslation pins the paging-structure cache's hardware
+// semantics: a detach that skips the invalidation leaves the cached
+// upper-level path live (the stale fragment still translates), and
+// InvalidateRange purges it. This is exactly why every kernel
+// detach/attach path must invalidate.
+func TestPWCStaleTranslation(t *testing.T) {
+	u := New(DefaultConfig())
+	base := uint64(0x2000_0000_0000)
+	ft := pagetable.BuildFileTable(testDev, []int64{80, 88})
+	tab := pagetable.New()
+	if _, err := ft.Attach(tab, base, true); err != nil {
+		t.Fatal(err)
+	}
+	u.RegisterPASID(1, tab)
+
+	if r := u.Translate(Request{PASID: 1, DevID: testDev, VBA: base, Bytes: 4096}); r.Status != OK {
+		t.Fatalf("warmup status = %v", r.Status)
+	}
+	ft.Detach(tab, base) // buggy kernel: no invalidation
+	if r := u.Translate(Request{PASID: 1, DevID: testDev, VBA: base, Bytes: 4096}); r.Status != OK {
+		t.Fatalf("without invalidation the PWC should still serve the stale path, got %v", r.Status)
+	}
+	u.InvalidateRange(1, base, 8192)
+	if r := u.Translate(Request{PASID: 1, DevID: testDev, VBA: base, Bytes: 4096}); r.Status != Fault {
+		t.Fatalf("post-invalidate status = %v, want fault", r.Status)
+	}
+	if hits, _ := u.PWCStats(); hits == 0 {
+		t.Fatal("expected at least one PWC hit in this sequence")
+	}
+}
+
+// TestPWCDisabled checks that PWCEntries <= 0 turns the cache off
+// entirely: no stats move and stale paths are never served.
+func TestPWCDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PWCEntries = 0
+	u := New(cfg)
+	base := uint64(0x2000_0000_0000)
+	ft := pagetable.BuildFileTable(testDev, []int64{80})
+	tab := pagetable.New()
+	if _, err := ft.Attach(tab, base, true); err != nil {
+		t.Fatal(err)
+	}
+	u.RegisterPASID(1, tab)
+	_ = u.Translate(Request{PASID: 1, DevID: testDev, VBA: base, Bytes: 4096})
+	ft.Detach(tab, base)
+	if r := u.Translate(Request{PASID: 1, DevID: testDev, VBA: base, Bytes: 4096}); r.Status != Fault {
+		t.Fatalf("with PWC off a detach faults immediately, got %v", r.Status)
+	}
+	if hits, misses := u.PWCStats(); hits != 0 || misses != 0 {
+		t.Fatalf("PWCStats = %d/%d with cache off, want 0/0", hits, misses)
+	}
+}
+
+// TestPWCLatencyKnobs exercises the modeled side: with explicit
+// PWCHitWalkLatency/PWCMinTranslation a warm same-region access is
+// charged the shorter walk, while the defaults (-1 sentinels) keep the
+// classic numbers — the byte-identity invariant of DESIGN.md §10.
+func TestPWCLatencyKnobs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PWCHitWalkLatency = 50 * sim.Nanosecond
+	cfg.PWCMinTranslation = 400 * sim.Nanosecond
+	u := New(cfg)
+	base := uint64(0x2000_0000_0000)
+	buildMapping(u, 1, base, []int64{80, 88}, true)
+
+	cold := u.Translate(Request{PASID: 1, DevID: testDev, VBA: base, Bytes: 4096})
+	if cold.Latency != 550*sim.Nanosecond {
+		t.Fatalf("cold latency = %v, want the 550ns floor (full walk)", cold.Latency)
+	}
+	warm := u.Translate(Request{PASID: 1, DevID: testDev, VBA: base + 4096, Bytes: 4096})
+	// 345ns PCIe + 50ns leaf fetch = 395ns, floored at the PWC floor.
+	if warm.Latency != 400*sim.Nanosecond {
+		t.Fatalf("warm latency = %v, want 400ns (PWC floor)", warm.Latency)
+	}
+
+	// Default sentinels: warm or cold, the classic model applies.
+	ud := New(DefaultConfig())
+	buildMapping(ud, 1, base, []int64{80, 88}, true)
+	c2 := ud.Translate(Request{PASID: 1, DevID: testDev, VBA: base, Bytes: 4096})
+	w2 := ud.Translate(Request{PASID: 1, DevID: testDev, VBA: base + 4096, Bytes: 4096})
+	if c2.Latency != w2.Latency || w2.Latency != 550*sim.Nanosecond {
+		t.Fatalf("default config latencies = %v/%v, want 550ns/550ns", c2.Latency, w2.Latency)
+	}
+}
+
+// TestPWCEvictionFIFO bounds the cache: with 2 entries, touching a
+// third region evicts the oldest, so re-touching it misses again.
+func TestPWCEvictionFIFO(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PWCEntries = 2
+	u := New(cfg)
+	base := uint64(0x2000_0000_0000)
+	// Three 2 MiB regions: pages 0, 512, 1024 of one file table.
+	ft := pagetable.NewFileTable(testDev)
+	for _, pg := range []int{0, 512, 1024} {
+		ft.SetPage(pg, int64(80+pg*8))
+	}
+	tab := pagetable.New()
+	if _, err := ft.Attach(tab, base, true); err != nil {
+		t.Fatal(err)
+	}
+	u.RegisterPASID(1, tab)
+
+	touch := func(region int) {
+		r := u.Translate(Request{PASID: 1, DevID: testDev, VBA: base + uint64(region)*pagetable.PMDSpan, Bytes: 4096})
+		if r.Status != OK {
+			t.Fatalf("region %d: %v", region, r.Status)
+		}
+	}
+	touch(0)
+	touch(1)
+	touch(2) // evicts region 0
+	touch(0) // must miss again
+	hits, misses := u.PWCStats()
+	if hits != 0 || misses != 4 {
+		t.Fatalf("PWCStats = %d/%d, want 0 hits / 4 misses", hits, misses)
+	}
+	touch(2) // still resident
+	if h, _ := u.PWCStats(); h != 1 {
+		t.Fatalf("hits = %d after re-touching resident region, want 1", h)
+	}
+}
+
+// TestInvalidateRangePartialPage is the alignment regression test: a
+// byte range that starts or ends mid-page must still drop every
+// translation it overlaps (lo rounds down, hi rounds up), matching how
+// fmap attach spans are always page-covering.
+func TestInvalidateRangePartialPage(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CacheFTEs = true
+	u := New(cfg)
+	base := uint64(0x2000_0000_0000)
+	ft := pagetable.BuildFileTable(testDev, []int64{80, 88, 96})
+	tab := pagetable.New()
+	if _, err := ft.Attach(tab, base, true); err != nil {
+		t.Fatal(err)
+	}
+	u.RegisterPASID(1, tab)
+	for pg := 0; pg < 3; pg++ {
+		_ = u.Translate(Request{PASID: 1, DevID: testDev, VBA: base + uint64(pg)*4096, Bytes: 4096})
+	}
+	if _, misses := u.TLBStats(); misses != 3 {
+		t.Fatalf("warmup misses = %d, want 3", misses)
+	}
+
+	// 512 bytes starting mid-page 0, ending within page 0: drops page 0
+	// only. Then 512 bytes straddling the page 1/2 boundary: drops both.
+	u.InvalidateRange(1, base+1024, 512)
+	u.InvalidateRange(1, base+2*4096-256, 512)
+	hits0, misses0 := u.TLBStats()
+	for pg := 0; pg < 3; pg++ {
+		_ = u.Translate(Request{PASID: 1, DevID: testDev, VBA: base + uint64(pg)*4096, Bytes: 4096})
+	}
+	hits1, misses1 := u.TLBStats()
+	if misses1-misses0 != 3 || hits1 != hits0 {
+		t.Fatalf("after partial-page invalidates: hits +%d misses +%d, want +0/+3 (all pages dropped)",
+			hits1-hits0, misses1-misses0)
 	}
 }
 

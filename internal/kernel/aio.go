@@ -160,7 +160,14 @@ type sectorSeg struct {
 // resolveSectors maps a byte range of a file to device sectors using
 // the inode's extent tree.
 func resolveSectors(in *ext4.Inode, off, length int64) ([]sectorSeg, error) {
-	var segs []sectorSeg
+	return resolveSectorsInto(nil, in, off, length)
+}
+
+// resolveSectorsInto is resolveSectors appending into a caller-reused
+// buffer (from segs[:0]); synchronous resubmission loops such as XRP
+// chains use it to avoid one allocation per hop.
+func resolveSectorsInto(segs []sectorSeg, in *ext4.Inode, off, length int64) ([]sectorSeg, error) {
+	segs = segs[:0]
 	for length > 0 {
 		fb := off / ext4.BlockSize
 		disk, ok := in.LookupBlock(fb)

@@ -125,6 +125,10 @@ func (pr *Process) Fmap(p *sim.Proc, fd int) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	// Hardware discipline: every page-table splice is followed by an
+	// IOMMU invalidation so no translation cache (IOTLB or the
+	// paging-structure cache) can serve a path from before the update.
+	m.MMU.InvalidateRange(pr.PASID, base, int64(span))
 	// Warm fmap: a handful of pointer updates (Table 5 fit).
 	m.CPU.Compute(p, m.Cfg.FmapBase+sim.Time(updates)*m.Cfg.FmapPerPMD)
 
@@ -223,6 +227,9 @@ func (m *Machine) syncGrowth(in *ext4.Inode) {
 				break
 			}
 		}
+		// Invalidate the grown tail: like Fmap, an attach is a
+		// page-table update and must not leave stale cached paths.
+		m.MMU.InvalidateRange(att.Proc.PASID, att.Base+att.Span, int64(newSpan-att.Span))
 		att.Span = newSpan
 	}
 	if exhausted {

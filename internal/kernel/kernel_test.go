@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/ext4"
+	"repro/internal/iommu"
 	"repro/internal/nvme"
 	"repro/internal/sim"
 )
@@ -547,6 +548,44 @@ func TestTimestampsDeferredUntilClose(t *testing.T) {
 		_ = pr.Close(p, fd)
 		if f.Ino.Mtime == before {
 			t.Error("mtime not updated at close")
+		}
+	})
+	s.Run()
+	s.Shutdown()
+}
+
+// TestRevokeInvalidatesTranslationCaches asserts the hardware
+// invalidation discipline end to end: once the IOMMU has served (and
+// cached) translations for a mapping — IOTLB leaf entries and the
+// paging-structure cache's upper-level path — a kernel Revoke must
+// leave no translation cache able to resolve the revoked range.
+func TestRevokeInvalidatesTranslationCaches(t *testing.T) {
+	s, m := newMachine(t)
+	pr := m.NewProcess(ext4.Root)
+	s.Spawn("app", func(p *sim.Proc) {
+		mkFile(t, p, pr, "/f", make([]byte, 1<<20))
+		_, base, err := pr.OpenBypass(p, "/f", false)
+		if err != nil || base == 0 {
+			t.Errorf("OpenBypass: base=%d err=%v", base, err)
+			return
+		}
+		req := iommu.Request{PASID: pr.PASID, DevID: m.Dev.Config().DevID, VBA: base, Bytes: 4096}
+		// Warm every cache level: the first translation descends and
+		// populates the PWC, the second is served from it.
+		for i := 0; i < 2; i++ {
+			if r := m.MMU.Translate(req); r.Status != iommu.OK {
+				t.Errorf("warmup translation %d = %v", i, r.Status)
+				return
+			}
+		}
+		in, err := m.FS.Lookup(p, "/f", pr.Cred)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		m.Revoke(in)
+		if r := m.MMU.Translate(req); r.Status != iommu.Fault {
+			t.Errorf("post-revoke translation = %v, want fault (stale cached path survived)", r.Status)
 		}
 	})
 	s.Run()

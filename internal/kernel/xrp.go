@@ -39,6 +39,9 @@ func (pr *Process) XRPChain(p *sim.Proc, fd int, off, length int64, buf []byte, 
 	m.CPU.Compute(p, m.Cfg.BlockLayer+m.Cfg.DriverSubmit)
 
 	steps := 0
+	// Chain steps consume segs synchronously before the next resolve,
+	// so one scratch buffer serves the whole traversal.
+	var segs []sectorSeg
 	for {
 		if off%storage.SectorSize != 0 || length%storage.SectorSize != 0 || length <= 0 {
 			return steps, fmt.Errorf("kernel: xrp requires sector-aligned chain steps")
@@ -46,7 +49,7 @@ func (pr *Process) XRPChain(p *sim.Proc, fd int, off, length int64, buf []byte, 
 		if off+length > f.Ino.Size {
 			return steps, fmt.Errorf("kernel: xrp read beyond EOF (off=%d len=%d size=%d)", off, length, f.Ino.Size)
 		}
-		segs, err := resolveSectors(f.Ino, off, length)
+		segs, err = resolveSectorsInto(segs, f.Ino, off, length)
 		if err != nil {
 			return steps, err
 		}

@@ -156,6 +156,86 @@ func (t *Table) Walk(va uint64) WalkResult {
 	}
 }
 
+// LeafFor descends the three upper levels and returns the resident
+// leaf node covering va's 2 MiB region plus the AND of the R/W bits
+// along the descent. ok is false when the descent dead-ends; levels
+// reports the table levels touched either way, matching Walk's
+// accounting (a reachable leaf counts the leaf-entry load as the
+// fourth level).
+//
+// Exposing the node lets callers stay resident in it — the IOMMU's
+// segment walker and paging-structure cache stream all 512 entries of
+// a 2 MiB region from one descent instead of re-walking per page.
+func (t *Table) LeafFor(va uint64) (leaf *Node, effRW bool, levels int, ok bool) {
+	if va >= MaxVA {
+		return nil, false, 1, false
+	}
+	n := t.root
+	effRW = true
+	for lvl := 4; lvl >= 2; lvl-- {
+		i := index(va, lvl)
+		e := n.entries[i]
+		if !e.Present() || n.children[i] == nil {
+			return nil, false, 5 - lvl, false
+		}
+		effRW = effRW && e.RW()
+		n = n.children[i]
+	}
+	return n, effRW, 4, true
+}
+
+// WalkRange resolves pages consecutive pages starting at va, invoking
+// visit(i, r) with a result identical to Walk(va + i*PageSize) for
+// each. It descends root→leaf once per 512-entry leaf node (2 MiB
+// region) and streams entries from the resident node, so an N-page
+// scan costs ceil(N/512) descents instead of N. visit returning false
+// stops the scan.
+func (t *Table) WalkRange(va uint64, pages int, visit func(i int, r WalkResult) bool) {
+	for i := 0; i < pages; {
+		pva := va + uint64(i)*PageSize
+		if pva >= MaxVA {
+			// Out-of-range pages fail identically to Walk. Regions are
+			// 2 MiB aligned and MaxVA is region aligned, so once past
+			// the boundary every remaining page is out of range too.
+			for ; i < pages; i++ {
+				if !visit(i, WalkResult{Levels: 1}) {
+					return
+				}
+			}
+			return
+		}
+		leaf, effRW, levels, ok := t.LeafFor(pva)
+		idx := int(pva >> PageShift & (EntriesPer - 1))
+		n := EntriesPer - idx
+		if n > pages-i {
+			n = pages - i
+		}
+		if !ok {
+			// The upper-level indexes are shared by every page of the
+			// region, so the per-page Walk would dead-end identically.
+			r := WalkResult{Levels: levels}
+			for j := 0; j < n; j++ {
+				if !visit(i+j, r) {
+					return
+				}
+			}
+			i += n
+			continue
+		}
+		for j := 0; j < n; j++ {
+			e := leaf.entries[idx+j]
+			r := WalkResult{Levels: 4}
+			if e.Present() {
+				r = WalkResult{Entry: e, EffRW: effRW && e.RW(), Levels: 4, Found: true}
+			}
+			if !visit(i+j, r) {
+				return
+			}
+		}
+		i += n
+	}
+}
+
 // ensurePath builds intermediate nodes down to the leaf table
 // containing va and returns that leaf node. Intermediate pointer
 // entries are created present+RW+user.

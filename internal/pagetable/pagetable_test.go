@@ -1,6 +1,7 @@
 package pagetable
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -265,5 +266,125 @@ func TestFileTableWalkProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// buildRandomTable assembles a deliberately messy table from a seed:
+// sparse and dense file-table fragments, holes inside fragments,
+// detached PMDs, regular (non-FT) PTE leaves, and read-only
+// attachments — every shape the WalkRange fast path must reproduce.
+func buildRandomTable(seed int64) (*Table, uint64, int) {
+	rng := rand.New(rand.NewSource(seed))
+	tab := New()
+	base := uint64(0x2000_0000_0000)
+	regions := 2 + rng.Intn(5) // 2 MiB regions covered by the scan
+	for ri := 0; ri < regions; ri++ {
+		va := base + uint64(ri)*PMDSpan
+		switch rng.Intn(5) {
+		case 0: // never attached: upper levels dead-end
+		case 1: // dense fragment
+			ft := NewFileTable(7)
+			for pg := 0; pg < EntriesPer; pg++ {
+				ft.SetPage(pg, int64(pg*8+8))
+			}
+			_, _ = ft.Attach(tab, va, rng.Intn(2) == 0)
+		case 2: // sparse fragment with holes
+			ft := NewFileTable(7)
+			for pg := 0; pg < EntriesPer; pg++ {
+				if rng.Intn(3) == 0 {
+					ft.SetPage(pg, int64(pg*8+8))
+				} else {
+					ft.growTo(pg + 1)
+				}
+			}
+			_, _ = ft.Attach(tab, va, true)
+		case 3: // attached then detached (revocation)
+			ft := NewFileTable(7)
+			ft.SetPage(0, 8)
+			_, _ = ft.Attach(tab, va, true)
+			tab.DetachPMD(va)
+		case 4: // regular PTE leaves mixed with FTEs
+			for pg := 0; pg < EntriesPer; pg += 1 + rng.Intn(7) {
+				pva := va + uint64(pg)*PageSize
+				if rng.Intn(2) == 0 {
+					tab.Map(pva, MakePTE(uint64(pg)+100, rng.Intn(2) == 0))
+				} else {
+					tab.Map(pva, MakeFTE(int64(pg*8+8), 7))
+				}
+			}
+		}
+	}
+	return tab, base, regions * EntriesPer
+}
+
+// Property: WalkRange over randomized sparse/dense tables — holes,
+// detached PMDs, mixed FTE/PTE leaves — is result-identical to
+// per-page Walk, including the Levels accounting on misses.
+func TestWalkRangeMatchesWalkProperty(t *testing.T) {
+	for seed := int64(1); seed <= 200; seed++ {
+		tab, base, pages := buildRandomTable(seed)
+		// Start the scan off-region-alignment sometimes to cover
+		// partial leading leaf windows.
+		rng := rand.New(rand.NewSource(seed * 77))
+		start := base + uint64(rng.Intn(EntriesPer))*PageSize
+		n := 1 + rng.Intn(pages)
+		got := make([]WalkResult, 0, n)
+		tab.WalkRange(start, n, func(i int, r WalkResult) bool {
+			if i != len(got) {
+				t.Fatalf("seed %d: visit index %d out of order", seed, i)
+			}
+			got = append(got, r)
+			return true
+		})
+		if len(got) != n {
+			t.Fatalf("seed %d: visited %d of %d pages", seed, len(got), n)
+		}
+		for i, r := range got {
+			want := tab.Walk(start + uint64(i)*PageSize)
+			if r != want {
+				t.Fatalf("seed %d page %d: WalkRange %+v != Walk %+v", seed, i, r, want)
+			}
+		}
+	}
+}
+
+// WalkRange must stop the moment visit returns false.
+func TestWalkRangeEarlyStop(t *testing.T) {
+	ft := NewFileTable(7)
+	for pg := 0; pg < 8; pg++ {
+		ft.SetPage(pg, int64(pg*8+8))
+	}
+	tab := New()
+	base := uint64(0x2000_0000_0000)
+	if _, err := ft.Attach(tab, base, true); err != nil {
+		t.Fatal(err)
+	}
+	visits := 0
+	tab.WalkRange(base, 8, func(i int, r WalkResult) bool {
+		visits++
+		return i < 2
+	})
+	if visits != 3 {
+		t.Fatalf("visits = %d, want 3 (stop after visit returns false at i=2)", visits)
+	}
+}
+
+// WalkRange beyond the canonical user half fails like Walk does.
+func TestWalkRangeOutOfRange(t *testing.T) {
+	tab := New()
+	start := MaxVA - 2*PageSize
+	var got []WalkResult
+	tab.WalkRange(start, 4, func(i int, r WalkResult) bool {
+		got = append(got, r)
+		return true
+	})
+	for i, r := range got {
+		want := tab.Walk(start + uint64(i)*PageSize)
+		if r != want {
+			t.Fatalf("page %d: %+v != %+v", i, r, want)
+		}
+	}
+	if len(got) != 4 {
+		t.Fatalf("visited %d pages, want 4", len(got))
 	}
 }

@@ -51,6 +51,11 @@ type event struct {
 	at  Time
 	seq uint64
 	fn  func()
+	// p, when non-nil, marks a proc-resume event: the scheduler calls
+	// resume(p) directly instead of going through a closure. Sleeps and
+	// wakeups dominate the event stream, and allocating a closure for
+	// each showed up at the top of -benchmem profiles.
+	p *Proc
 }
 
 // eventHeap is a binary min-heap ordered by (at, seq). The sift
@@ -198,6 +203,17 @@ func (s *Sim) post(at Time, fn func()) {
 	s.events.push(event{at: at, seq: s.seq, fn: fn})
 }
 
+// postResume schedules p to be resumed at time at without allocating a
+// closure. Ordering is identical to post: the shared seq counter keeps
+// resume and function events in one posted-order stream.
+func (s *Sim) postResume(at Time, p *Proc) {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: event posted in the past (%v < %v)", at, s.now))
+	}
+	s.seq++
+	s.events.push(event{at: at, seq: s.seq, p: p})
+}
+
 // At schedules fn to run at absolute virtual time at. fn runs in
 // scheduler context and must not block; spawn a proc for blocking work.
 func (s *Sim) At(at Time, fn func()) { s.post(at, fn) }
@@ -233,7 +249,7 @@ func (s *Sim) SpawnAt(at Time, name string, fn func(p *Proc)) *Proc {
 		p.state = procRunning
 		fn(p)
 	}()
-	s.post(at, func() { s.resume(p) })
+	s.postResume(at, p)
 	return p
 }
 
@@ -273,7 +289,7 @@ func (p *Proc) Sleep(d Time) {
 		panic(fmt.Sprintf("sim: negative sleep %d", d))
 	}
 	s := p.sim
-	s.post(s.now+d, func() { s.resume(p) })
+	s.postResume(s.now+d, p)
 	p.park()
 }
 
@@ -283,7 +299,7 @@ func (p *Proc) Yield() { p.Sleep(0) }
 
 // wakeAt schedules p to be resumed at absolute time at.
 func (s *Sim) wakeAt(at Time, p *Proc) {
-	s.post(at, func() { s.resume(p) })
+	s.postResume(at, p)
 }
 
 // Run processes events until the event queue is empty. Procs parked on
@@ -298,7 +314,11 @@ func (s *Sim) Run() {
 	for len(s.events) > 0 {
 		e := s.events.pop()
 		s.now = e.at
-		e.fn()
+		if e.p != nil {
+			s.resume(e.p)
+		} else {
+			e.fn()
+		}
 	}
 }
 
@@ -314,7 +334,11 @@ func (s *Sim) RunUntil(t Time) int {
 	for len(s.events) > 0 && s.events[0].at <= t {
 		e := s.events.pop()
 		s.now = e.at
-		e.fn()
+		if e.p != nil {
+			s.resume(e.p)
+		} else {
+			e.fn()
+		}
 		n++
 	}
 	if s.now < t {
