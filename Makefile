@@ -30,15 +30,18 @@ bench:
 # pair in the JSON.
 bench-json:
 	$(GO) test -bench 'Fig6LatBW|Fig9Scaling|Direct4KRead' -benchmem -run '^$$' . \
-		| $(GO) run ./cmd/benchjson $(if $(BASELINE),-baseline $(BASELINE)) -o BENCH_PR4.json
-	@echo wrote BENCH_PR4.json
+		| $(GO) run ./cmd/benchjson $(if $(BASELINE),-baseline $(BASELINE)) -o BENCH_PR5.json
+	@echo wrote BENCH_PR5.json
 
 # bench-check is the allocation-budget regression gate: the end-to-end
 # 4 KiB BypassD read must stay within its allocs/op budget (see
-# TestDirect4KReadAllocBudget). Opt-in via BENCH_CHECK=1 so ordinary
-# test runs never flake on allocation noise.
+# TestDirect4KReadAllocBudget) with the QoS arbiter on the dispatch
+# path, and every arbiter's steady-state grant must stay
+# allocation-free (TestArbiterZeroAllocHotPath). Opt-in via
+# BENCH_CHECK=1 so ordinary test runs never flake on allocation noise.
 bench-check:
 	BENCH_CHECK=1 $(GO) test -run TestDirect4KReadAllocBudget -count=1 -v .
+	$(GO) test -run TestArbiterZeroAllocHotPath -count=1 -v ./internal/device
 
 # fuzz runs each native fuzz target for FUZZTIME (go test -fuzz takes
 # exactly one target per invocation, hence the loop).

@@ -8,6 +8,7 @@
 //	bypassd-bench -o results.md   # also write a markdown report
 //	bypassd-bench -json run.json  # machine-readable per-experiment results
 //	bypassd-bench -faults chaos   # run under a named fault-injection profile
+//	bypassd-bench -tenants noisy-neighbor-wrr-8   # run one tenant scenario (builtin or JSON file)
 //	bypassd-bench -trace t.json   # per-request spans as Chrome trace-event JSON
 //	bypassd-bench -metrics        # print the unified metrics registry after the run
 //	bypassd-bench -cpuprofile cpu.pprof -memprofile mem.pprof  # host-level pprof profiles
@@ -31,6 +32,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/tenants"
 	"repro/internal/trace"
 )
 
@@ -61,6 +63,48 @@ func main() {
 	os.Exit(run())
 }
 
+// runTenants executes one multi-tenant scenario — a builtin name or a
+// JSON config file — and prints its per-tenant table. Like the
+// experiment path, the table goes to stdout and is deterministic for
+// a fixed seed; progress goes to stderr.
+func runTenants(nameOrPath string, seed int64, faultsP, out string) int {
+	sc, ok := tenants.ByName(nameOrPath)
+	if !ok {
+		var err error
+		sc, err = tenants.Load(nameOrPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-tenants %q: not a builtin scenario (try -list) and %v\n", nameOrPath, err)
+			return 1
+		}
+	}
+	if faultsP != "" {
+		if err := faults.Activate(faultsP, seed); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			return 1
+		}
+		defer faults.Deactivate()
+		fmt.Fprintf(os.Stderr, "== fault profile %q armed (seed %d)\n", faultsP, seed)
+	}
+	fmt.Fprintf(os.Stderr, "== running tenant scenario %s (%d tenants, arbiter %s, seed %d)\n",
+		sc.Name, len(sc.Tenants), sc.ArbiterName(), seed)
+	start := time.Now()
+	results, err := tenants.Run(seed, sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenario %s: %v\n", sc.Name, err)
+		return 1
+	}
+	table := tenants.ReportTable(sc, results).String()
+	fmt.Print(table)
+	fmt.Fprintf(os.Stderr, "== done (wall time %.1fs)\n", time.Since(start).Seconds())
+	if out != "" {
+		if err := os.WriteFile(out, []byte(table), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", out, err)
+			return 1
+		}
+	}
+	return 0
+}
+
 // run is main minus os.Exit, so the profile-writing defers installed
 // for -cpuprofile/-memprofile always flush before the process ends.
 func run() int {
@@ -73,6 +117,7 @@ func run() int {
 		out      = flag.String("o", "", "also write the combined report to this file")
 		jsonOut  = flag.String("json", "", "write machine-readable results to this file")
 		faultsP  = flag.String("faults", "", "fault-injection profile name (see -list); empty = disabled")
+		tenantsF = flag.String("tenants", "", "run one multi-tenant scenario: a builtin name (see -list) or a JSON config file")
 		traceOut = flag.String("trace", "", "write per-request spans to this file (Chrome trace-event JSON)")
 		metricsF = flag.Bool("metrics", false, "print the unified metrics registry to stdout after the run")
 		cpuProf  = flag.String("cpuprofile", "", "write a host CPU profile of the run to this file")
@@ -119,7 +164,15 @@ func run() int {
 		for _, p := range faults.Profiles() {
 			fmt.Printf("%-14s %s\n", p.Name, p.Desc)
 		}
+		fmt.Println("\ntenant scenarios (-tenants):")
+		for _, sc := range tenants.Builtins() {
+			fmt.Printf("%-24s %d tenants, arbiter %s\n", sc.Name, len(sc.Tenants), sc.ArbiterName())
+		}
 		return 0
+	}
+
+	if *tenantsF != "" {
+		return runTenants(*tenantsF, *seed, *faultsP, *out)
 	}
 
 	if *faultsP != "" {

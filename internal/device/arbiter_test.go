@@ -1,0 +1,230 @@
+package device
+
+import (
+	"testing"
+
+	"repro/internal/nvme"
+	"repro/internal/sim"
+)
+
+// preload creates n queues with depth entries each and submits depth
+// 512 B reads per queue, so every queue is persistently non-empty
+// until drained.
+func preload(t *testing.T, d *SSD, qos []nvme.QoS, depth int) []*nvme.QueuePair {
+	t.Helper()
+	qs := make([]*nvme.QueuePair, len(qos))
+	for i := range qos {
+		q, err := d.CreateQueue(0, depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.QoS = qos[i]
+		qs[i] = q
+	}
+	buf := make([]byte, 512)
+	for _, q := range qs {
+		for n := 0; n < depth; n++ {
+			if err := q.Submit(nvme.SQE{Opcode: nvme.OpRead, CID: uint16(n), SLBA: int64(n), Sectors: 1, Buf: buf}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return qs
+}
+
+// TestFlatRRSaturatedEqualService is the fairness regression test for
+// the default arbiter: with every queue persistently non-empty, the
+// starting-index rotation must hand out equal service counts — a scan
+// that always restarted at index 0 would drain queue 1 first.
+func TestFlatRRSaturatedEqualService(t *testing.T) {
+	s := sim.New()
+	d := newSSD(s)
+	const depth = 256
+	qs := preload(t, d, make([]nvme.QoS, 4), depth)
+
+	// Mid-drain: roughly half the commands are done; every queue is
+	// still backlogged, so service counts must match to within the
+	// commands still in flight on the six channels.
+	s.RunUntil(300 * sim.Microsecond)
+	lo, hi := int64(1<<62), int64(0)
+	for _, q := range qs {
+		c := d.OpsOnQueue(q.ID)
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	if lo == 0 || hi-lo > int64(d.Config().Channels) {
+		t.Fatalf("saturated RR service counts spread [%d,%d], want equal within %d", lo, hi, d.Config().Channels)
+	}
+
+	s.Run()
+	for _, q := range qs {
+		if c := d.OpsOnQueue(q.ID); c != depth {
+			t.Fatalf("queue %d served %d, want %d", q.ID, c, depth)
+		}
+	}
+	s.Shutdown()
+}
+
+// TestWRRWeightedShares: backlogged queues receive grants in
+// proportion to their QoS weights.
+func TestWRRWeightedShares(t *testing.T) {
+	s := sim.New()
+	d := newSSD(s)
+	d.SetArbiter(NewWRR())
+	qs := preload(t, d, []nvme.QoS{{Weight: 3}, {Weight: 1}}, 400)
+
+	// Short of the heavy queue's drain point, so both stay backlogged.
+	s.RunUntil(150 * sim.Microsecond)
+	heavy, light := d.OpsOnQueue(qs[0].ID), d.OpsOnQueue(qs[1].ID)
+	if light == 0 {
+		t.Fatal("light queue starved under WRR")
+	}
+	ratio := float64(heavy) / float64(light)
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("WRR share ratio = %.2f (%d/%d), want ~3", ratio, heavy, light)
+	}
+	s.Run()
+	s.Shutdown()
+}
+
+// TestWRREqualWeightsEqualService: with uniform weights the fair
+// arbiter degenerates to round-robin service counts.
+func TestWRREqualWeightsEqualService(t *testing.T) {
+	s := sim.New()
+	d := newSSD(s)
+	d.SetArbiter(NewWRR())
+	qs := preload(t, d, make([]nvme.QoS, 4), 256)
+
+	s.RunUntil(300 * sim.Microsecond)
+	lo, hi := int64(1<<62), int64(0)
+	for _, q := range qs {
+		c := d.OpsOnQueue(q.ID)
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	if lo == 0 || hi-lo > int64(d.Config().Channels) {
+		t.Fatalf("equal-weight WRR service counts spread [%d,%d]", lo, hi)
+	}
+	s.Run()
+	s.Shutdown()
+}
+
+// TestTokenPrioStrictPriority: a backlogged priority-0 queue starves a
+// backlogged priority-1 queue until it drains.
+func TestTokenPrioStrictPriority(t *testing.T) {
+	s := sim.New()
+	d := newSSD(s)
+	d.SetArbiter(NewTokenPrio())
+	qs := preload(t, d, []nvme.QoS{{Priority: 0}, {Priority: 1}}, 64)
+
+	// ~42 grants fit in 25µs on six 3.5µs channels: all must go to
+	// the high-priority queue while it is still backlogged.
+	s.RunUntil(25 * sim.Microsecond)
+	if hi := d.OpsOnQueue(qs[0].ID); hi < 30 {
+		t.Fatalf("priority-0 queue served %d in 25µs, want ≥30", hi)
+	}
+	if lo := d.OpsOnQueue(qs[1].ID); lo != 0 {
+		t.Fatalf("priority-1 queue served %d while priority-0 backlogged, want 0", lo)
+	}
+	s.Run()
+	if a, b := d.OpsOnQueue(qs[0].ID), d.OpsOnQueue(qs[1].ID); a != 64 || b != 64 {
+		t.Fatalf("final service counts %d/%d, want 64/64", a, b)
+	}
+	s.Shutdown()
+}
+
+// TestTokenPrioRateLimit: a rate-capped queue is held to its token
+// rate while an uncapped queue soaks up the rest of the device.
+func TestTokenPrioRateLimit(t *testing.T) {
+	s := sim.New()
+	d := newSSD(s)
+	d.SetArbiter(NewTokenPrio())
+	qs := preload(t, d, []nvme.QoS{
+		{Priority: 1},
+		{Priority: 0, RateOps: 100_000, Burst: 4},
+	}, 400)
+
+	const window = 1 * sim.Millisecond
+	s.RunUntil(window)
+	capped := d.OpsOnQueue(qs[1].ID)
+	// 100k ops/s over 1ms = 100 tokens, plus the burst allowance.
+	if capped < 90 || capped > 110 {
+		t.Fatalf("rate-capped queue served %d in %v, want ~100-104", capped, window)
+	}
+	if open := d.OpsOnQueue(qs[0].ID); open < 3*capped {
+		t.Fatalf("uncapped queue served %d vs capped %d, want the spare bandwidth", open, capped)
+	}
+	s.Run()
+	s.Shutdown()
+}
+
+// TestTokenPrioRefillWake: when every backlogged queue is throttled,
+// the dispatcher must arm a refill timer and finish the work — a
+// doorbell-only dispatcher would park forever.
+func TestTokenPrioRefillWake(t *testing.T) {
+	s := sim.New()
+	d := newSSD(s)
+	d.SetArbiter(NewTokenPrio())
+	// Burst 1 and one token per 10µs: after the first command the
+	// queue is always throttled when the dispatcher looks.
+	qs := preload(t, d, []nvme.QoS{{RateOps: 100_000, Burst: 1}}, 8)
+
+	s.Run()
+	if c := d.OpsOnQueue(qs[0].ID); c != 8 {
+		t.Fatalf("served %d of 8 through refill wakes", c)
+	}
+	// Seven refills at 10µs each bound the finish time from below.
+	if s.Now() < 70*sim.Microsecond {
+		t.Fatalf("finished at %v, want ≥70µs (rate limit not enforced)", s.Now())
+	}
+	s.Shutdown()
+}
+
+// TestArbiterZeroAllocHotPath asserts the QoS plane adds zero
+// allocations per grant in steady state, for every arbiter. Part of
+// the bench-check gate (see Makefile).
+func TestArbiterZeroAllocHotPath(t *testing.T) {
+	s := sim.New()
+	defer s.Shutdown()
+	buf := make([]byte, 512)
+	for _, arb := range []Arbiter{
+		NewFlatRR(),
+		NewWRR(),
+		NewTokenPrio(),
+	} {
+		qs := make([]*nvme.QueuePair, 4)
+		for i := range qs {
+			qs[i] = nvme.NewQueuePair(s, i+1, 0, 64)
+			qs[i].QoS = nvme.QoS{Weight: i + 1, Priority: i % 2, RateOps: 1e9, Burst: 8}
+			for n := 0; n < 8; n++ {
+				if err := qs[i].Submit(nvme.SQE{Opcode: nvme.OpRead, CID: uint16(n), SLBA: 0, Sectors: 1, Buf: buf}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		now := sim.Time(0)
+		grant := func() {
+			now += 100
+			idx, ok, _ := arb.Next(now, qs)
+			if !ok {
+				t.Fatalf("%s: no grant with backlogged queues", arb.Name())
+			}
+			e, _ := qs[idx].PopSQE()
+			if err := qs[idx].Submit(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		grant() // warm lazily created per-queue state
+		if avg := testing.AllocsPerRun(200, grant); avg != 0 {
+			t.Errorf("%s: %.1f allocs per grant in steady state, want 0", arb.Name(), avg)
+		}
+	}
+}

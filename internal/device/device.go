@@ -3,11 +3,12 @@
 // The model is calibrated to the Intel Optane P5800X used in the
 // paper: ~4.0 µs device time for a 4 KiB read (Table 1), ~7 GB/s
 // streaming reads, and ~1.5 M IOPS of internal parallelism (Fig. 9's
-// saturation point). Commands are fetched from submission queues with
-// round-robin arbitration across queues — the device-side scheduling
-// the paper relies on for fairness once the kernel I/O scheduler is
-// bypassed (Fig. 11) — and served by a bounded pool of internal
-// channels.
+// saturation point). Commands are fetched from submission queues by a
+// pluggable arbiter (flat round-robin by default — the device-side
+// scheduling the paper relies on for fairness once the kernel I/O
+// scheduler is bypassed (Fig. 11) — with WRR and strict-priority +
+// token-bucket variants for the tenancy plane, see arbiter.go) and
+// served by a bounded pool of internal channels.
 //
 // BypassD extension: a submission entry may carry a VBA, in which case
 // the device issues an ATS translation to the attached IOMMU before
@@ -122,7 +123,8 @@ type SSD struct {
 
 	queues   []*nvme.QueuePair
 	arrival  *sim.Cond // doorbell for all queues
-	rr       int       // round-robin arbitration cursor
+	arb      Arbiter   // queue arbitration policy (FlatRR by default)
+	wakeAt   sim.Time  // pending token-refill re-arbitration, 0 = none
 	channels *sim.Resource
 
 	writesInFlight int
@@ -175,6 +177,7 @@ func NewWithStore(s *sim.Sim, cfg Config, st *storage.Store) *SSD {
 		cfg:           cfg,
 		store:         st,
 		arrival:       s.NewCond(),
+		arb:           NewFlatRR(),
 		channels:      s.NewResource(cfg.Name+"-channels", cfg.Channels),
 		writesDrained: s.NewCond(),
 		opsByQ:        make(map[int]int64),
@@ -228,6 +231,7 @@ func Carve(s *sim.Sim, parent *SSD, name string, devID uint8, baseSector, sector
 		store:         parent.store,
 		mmu:           parent.mmu,
 		arrival:       s.NewCond(),
+		arb:           NewFlatRR(),
 		channels:      parent.channels, // VFs contend for the same media
 		writesDrained: s.NewCond(),
 		opsByQ:        make(map[int]int64),
@@ -326,26 +330,64 @@ func (d *SSD) DestroyQueue(q *nvme.QueuePair) {
 	q.Close()
 }
 
-// arbitrate pops the next command round-robin across non-empty
-// queues, reporting false when all are empty.
-func (d *SSD) arbitrate() (command, bool) {
-	n := len(d.queues)
-	for i := 0; i < n; i++ {
-		q := d.queues[(d.rr+i)%n]
-		if e, ok := q.PopSQE(); ok {
-			d.rr = (d.rr + i + 1) % n
-			return command{sqe: e, q: q}, true
-		}
+// SetArbiter installs a queue arbitration policy. Call it at machine
+// setup, before traffic: swapping arbiters mid-flight is legal but
+// the new policy starts with fresh state (cursor, credits, buckets).
+func (d *SSD) SetArbiter(a Arbiter) {
+	if a == nil {
+		a = NewFlatRR()
 	}
-	return command{}, false
+	d.arb = a
+	d.arrival.Broadcast() // re-arbitrate under the new policy
+}
+
+// ArbiterName reports the installed arbitration policy.
+func (d *SSD) ArbiterName() string { return d.arb.Name() }
+
+// arbitrate pops the next command the arbiter grants, reporting
+// ok=false when nothing is eligible (and the refill instant to retry
+// at, if the arbiter is holding back a rate-limited queue).
+func (d *SSD) arbitrate() (command, bool, sim.Time) {
+	for {
+		idx, ok, retryAt := d.arb.Next(d.sim.Now(), d.queues)
+		if !ok {
+			return command{}, false, retryAt
+		}
+		q := d.queues[idx]
+		if e, popped := q.PopSQE(); popped {
+			return command{sqe: e, q: q}, true, 0
+		}
+		// The arbiter granted an empty queue (a buggy policy); spin
+		// once more rather than fetch garbage.
+	}
+}
+
+// scheduleWake arms a timer that rings the arrival doorbell at t, so
+// a dispatcher parked on an all-throttled queue set re-arbitrates
+// when the earliest token refills. Earlier pending timers win; a
+// stale later timer fires a harmless spurious broadcast.
+func (d *SSD) scheduleWake(t sim.Time) {
+	if d.wakeAt != 0 && d.wakeAt <= t {
+		return
+	}
+	d.wakeAt = t
+	d.sim.At(t, func() {
+		if d.wakeAt == t {
+			d.wakeAt = 0
+		}
+		d.arrival.Broadcast()
+	})
 }
 
 // dispatch is the device's command-fetch engine: admit one command at
 // a time, each onto a free internal channel.
 func (d *SSD) dispatch(p *sim.Proc) {
 	for {
-		cmd, ok := d.arbitrate()
+		cmd, ok, retryAt := d.arbitrate()
 		if !ok {
+			if retryAt > 0 {
+				d.scheduleWake(retryAt)
+			}
 			d.arrival.Wait(p)
 			continue
 		}

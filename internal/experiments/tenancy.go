@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/tenants"
+)
+
+func init() {
+	register("T7", "Noisy neighbor: victim tail latency vs. bandwidth hogs, arbiter ablation", runT7)
+	register("T8", "SLO compliance vs. offered load, shared device (open-loop tenants)", runT8)
+}
+
+// optaneIOPS is the device's 4 KiB read saturation point (Fig. 9),
+// the denominator for T8's offered-load fractions.
+const optaneIOPS = 1.49e6
+
+// runT7 pits one latency-sensitive 4 KiB tenant against a growing
+// pack of large-block bandwidth hogs under each arbitration policy —
+// the sharing evaluation the paper's symmetric fio jobs (Figs. 10/11)
+// do not cover. The same seed drives every cell, so the arbiter
+// columns are paired: identical arrival processes, different policy.
+func runT7(o Options) (*Report, error) {
+	hogCounts := []int{1, 4, 8, 16}
+	victimOps, hogOps := 1000, 1000
+	if o.Quick {
+		hogCounts = []int{1, 8}
+		victimOps, hogOps = 250, 250
+	}
+	engines := []core.Engine{core.EngineSync, core.EngineBypassD}
+	arbiters := []string{"rr", "wrr", "prio"}
+	type cell struct {
+		hogs int
+		eng  core.Engine
+		arb  string
+	}
+	var cells []cell
+	for _, h := range hogCounts {
+		for _, e := range engines {
+			for _, a := range arbiters {
+				cells = append(cells, cell{h, e, a})
+			}
+		}
+	}
+	type point struct {
+		s          stats.Summary
+		compliance float64
+		hogMBps    float64
+	}
+	points, err := sweepMap(o, len(cells), func(i int) (point, error) {
+		c := cells[i]
+		sc := tenants.NoisyNeighbor(c.arb, c.hogs, victimOps, hogOps)
+		sc.Tenants[0].Engine = c.eng
+		res, err := tenants.Run(o.Seed, sc)
+		if err != nil {
+			return point{}, err
+		}
+		victim := res[0]
+		var hogMBps float64
+		for _, r := range res[1:] {
+			hogMBps += r.Bandwidth() / 1e6
+		}
+		return point{
+			s:          victim.Sojourn.Summarize(),
+			compliance: victim.Compliance(),
+			hogMBps:    hogMBps,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("T7: victim 4KB read sojourn vs. noisy neighbors (open loop, 30µs SLO)",
+		"hogs", "victim", "arbiter",
+		"p50 (µs)", "p99 (µs)", "p999 (µs)", "SLO met (%)", "hogs (MB/s)")
+	for i, c := range cells {
+		p := points[i]
+		tb.AddRow(c.hogs, string(c.eng), c.arb,
+			float64(p.s.P50)/1e3, float64(p.s.P99)/1e3, float64(p.s.P999)/1e3,
+			fmt.Sprintf("%.1f", p.compliance), p.hogMBps)
+	}
+	return &Report{ID: "T7", Title: "noisy-neighbor arbitration ablation", Tables: []*stats.Table{tb},
+		Notes: []string{
+			"flat RR serves every backlogged hog queue between victim grants; weighted-fair and priority arbitration hold the victim's p99 near its uncontended service time until the device itself saturates",
+			"the victim's weight-16/priority-0 class rides its BypassD queues via nvme.QoS; the sync victim shares the kernel's single queue-0 class (paper §3.7's delegation has no per-tenant handle there)",
+		}}, nil
+}
+
+// runT8 sweeps total offered load across equal tenants and reports
+// SLO compliance — the open-loop saturation story: compliance holds
+// until the knee, then collapses as queueing delay grows without
+// bound.
+func runT8(o Options) (*Report, error) {
+	fractions := []float64{0.2, 0.5, 0.8, 0.95, 1.1}
+	opsPer := 1500
+	if o.Quick {
+		fractions = []float64{0.3, 0.9}
+		opsPer = 300
+	}
+	const nTenants = 4
+	engines := []core.Engine{core.EngineSync, core.EngineBypassD}
+	type cell struct {
+		frac float64
+		eng  core.Engine
+	}
+	var cells []cell
+	for _, f := range fractions {
+		for _, e := range engines {
+			cells = append(cells, cell{f, e})
+		}
+	}
+	type point struct {
+		achieved   float64
+		s          stats.Summary
+		compliance float64
+	}
+	points, err := sweepMap(o, len(cells), func(i int) (point, error) {
+		c := cells[i]
+		sc := tenants.SLOLoad(c.eng, nTenants, c.frac*optaneIOPS, opsPer)
+		res, err := tenants.Run(o.Seed, sc)
+		if err != nil {
+			return point{}, err
+		}
+		agg := stats.NewHistogram()
+		var ops, met int64
+		var start, end = res[0].Start, res[0].End
+		for _, r := range res {
+			agg.Merge(r.Sojourn)
+			ops += r.Ops
+			met += r.Compliant
+			if r.Start < start {
+				start = r.Start
+			}
+			if r.End > end {
+				end = r.End
+			}
+		}
+		return point{
+			achieved:   stats.Throughput(ops, end-start) / 1e3,
+			s:          agg.Summarize(),
+			compliance: 100 * float64(met) / float64(ops),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("T8: SLO compliance vs. offered load (4 tenants, 4KB reads, 25µs SLO)",
+		"offered (kIOPS)", "engine", "achieved (kIOPS)", "p50 (µs)", "p99 (µs)", "SLO met (%)")
+	for i, c := range cells {
+		p := points[i]
+		tb.AddRow(fmt.Sprintf("%.0f", c.frac*optaneIOPS/1e3), string(c.eng),
+			p.achieved, float64(p.s.P50)/1e3, float64(p.s.P99)/1e3,
+			fmt.Sprintf("%.1f", p.compliance))
+	}
+	return &Report{ID: "T8", Title: "SLO compliance vs. offered load", Tables: []*stats.Table{tb},
+		Notes: []string{
+			"open-loop arrivals keep offering load past the knee, so past ~95% of the Fig. 9 saturation point the backlog — and p99 — grows with run length instead of plateauing",
+			"bypassd's lower per-op latency buys compliance headroom below the knee, but its reads serialize ATS translation before media (§3.4), so its IOPS ceiling sits ~12% under the physical-address kernel path's and its compliance collapses at a lower offered load",
+		}}, nil
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// runTenancy runs a tenancy experiment in quick mode and returns the
+// rendered report.
+func runTenancy(t *testing.T, id string, parallelism int) (*Report, string) {
+	t.Helper()
+	exp, ok := ByID(id)
+	if !ok {
+		t.Fatalf("%s not registered", id)
+	}
+	rep, err := exp.Run(Options{Quick: true, Seed: 42, Parallelism: parallelism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, tb := range rep.Tables {
+		sb.WriteString(tb.String())
+	}
+	return rep, sb.String()
+}
+
+// TestT7ArbiterSeparation: even in quick mode, WRR and prio must beat
+// flat RR on the victim's p99 column at the highest hog count — the
+// tentpole acceptance criterion, checked at the table layer. Columns:
+// hogs, victim, arbiter, p50, p99, ...
+func TestT7ArbiterSeparation(t *testing.T) {
+	rep, _ := runTenancy(t, "T7", 1)
+	tb := rep.Tables[0]
+	p99 := map[string]float64{}
+	for _, row := range tb.Rows {
+		if row[0] != "8" || row[1] != "bypassd" {
+			continue
+		}
+		v, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatalf("p99 cell %q: %v", row[4], err)
+		}
+		p99[row[2]] = v
+	}
+	if len(p99) != 3 {
+		t.Fatalf("found %d arbiter rows at hogs=8, want 3", len(p99))
+	}
+	if p99["wrr"] >= p99["rr"] {
+		t.Errorf("victim p99: wrr %.1fµs !< rr %.1fµs", p99["wrr"], p99["rr"])
+	}
+	if p99["prio"] >= p99["rr"] {
+		t.Errorf("victim p99: prio %.1fµs !< rr %.1fµs", p99["prio"], p99["rr"])
+	}
+}
+
+// TestTenancyParallelByteIdentical: T7 and T8 replay byte-identically
+// at -j1 vs -j8 (the registry-wide parallel check covers this too;
+// this pins the new tables explicitly per the tenancy acceptance
+// criteria) and across same-seed runs.
+func TestTenancyParallelByteIdentical(t *testing.T) {
+	for _, id := range []string{"T7", "T8"} {
+		_, a := runTenancy(t, id, 1)
+		_, b := runTenancy(t, id, 8)
+		if a != b {
+			t.Errorf("%s: -j1 and -j8 reports differ:\n%s\nvs\n%s", id, a, b)
+		}
+		_, c := runTenancy(t, id, 1)
+		if a != c {
+			t.Errorf("%s: same-seed replay diverged", id)
+		}
+	}
+}

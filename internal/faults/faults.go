@@ -44,6 +44,12 @@ const (
 	SiteQueueFull     = "userlib/queue_full"     // submission backpressure
 	SiteRefmapExhaust = "userlib/refmap_exhaust" // give up refmap retries
 
+	// SiteTenantBurst fires in the tenancy plane's open-loop
+	// generators: a hit compresses the next run of arrivals to a
+	// single instant (a correlated arrival spike), the classic way
+	// multi-tenant SLOs die.
+	SiteTenantBurst = "tenants/burst"
+
 	SiteCrashPreJournal     = "ext4/crash_pre_journal"     // before any journal write
 	SiteCrashPreCommit      = "ext4/crash_pre_commit"      // log written, no commit record
 	SiteCrashPostCommit     = "ext4/crash_post_commit"     // committed, not checkpointed
@@ -288,6 +294,14 @@ var builtins = []Profile{
 		Rules: []Rule{
 			{Site: SiteQueueFull, Prob: 0.05, Delay: 1 * sim.Microsecond},
 			{Site: SiteRefmapExhaust, Prob: 0.005},
+		},
+	},
+	{
+		Name: "tenant-storm",
+		Desc: "bursty tenant arrival spikes plus queue-full backpressure",
+		Rules: []Rule{
+			{Site: SiteTenantBurst, Prob: 0.01},
+			{Site: SiteQueueFull, Prob: 0.05, Delay: 1 * sim.Microsecond},
 		},
 	},
 	{

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ext4"
+	"repro/internal/kernel"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/storage"
@@ -75,6 +76,29 @@ type Spec struct {
 	// Trace attaches a span tracer to the machine even when the global
 	// trace plane is off, so GroupResult.Phases is populated.
 	Trace bool
+}
+
+// SetupFile creates and preallocates one benchmark file for an
+// engine: an SPDK region registration for EngineSPDK (the raw driver
+// has no file system), a created + fallocated ext4 file otherwise.
+// Shared by the fio and tenants harnesses.
+func SetupFile(p *sim.Proc, sys *core.System, root *kernel.Process, path string, engine core.Engine, bytes int64) error {
+	if engine == core.EngineSPDK {
+		d, err := sys.SPDK()
+		if err != nil {
+			return err
+		}
+		_, err = d.CreateFile(path, bytes)
+		return err
+	}
+	fd, err := root.Create(p, path, 0o666)
+	if err != nil {
+		return err
+	}
+	if err := root.Fallocate(p, fd, bytes); err != nil {
+		return err
+	}
+	return root.Close(p, fd)
 }
 
 // Run executes the groups on one freshly booted system.
@@ -162,28 +186,7 @@ func Run(spec Spec, groups []Group) (map[string]*GroupResult, error) {
 		for gi, g := range groups {
 			for ti := 0; ti < g.Threads; ti++ {
 				path := fmt.Sprintf("/fio/g%d-w%d", gi, ti)
-				if g.Engine == core.EngineSPDK {
-					d, err := sys.SPDK()
-					if err != nil {
-						setupErr = err
-						return
-					}
-					if _, err := d.CreateFile(path, g.FileBytes); err != nil {
-						setupErr = err
-						return
-					}
-					continue
-				}
-				fd, err := root.Create(p, path, 0o666)
-				if err != nil {
-					setupErr = err
-					return
-				}
-				if err := root.Fallocate(p, fd, g.FileBytes); err != nil {
-					setupErr = err
-					return
-				}
-				if err := root.Close(p, fd); err != nil {
+				if err := SetupFile(p, sys, root, path, g.Engine, g.FileBytes); err != nil {
 					setupErr = err
 					return
 				}

@@ -19,7 +19,14 @@ func (pr *Process) CreateUserQueue(p *sim.Proc, depth int) (*nvme.QueuePair, err
 	pr.enter(p)
 	defer pr.exit(p)
 	pr.M.CPU.Compute(p, 2*sim.Microsecond) // one-time setup cost
-	return pr.M.Dev.CreateQueue(pr.PASID, depth)
+	q, err := pr.M.Dev.CreateQueue(pr.PASID, depth)
+	if err != nil {
+		return nil, err
+	}
+	// The queue inherits the process's tenant class at registration
+	// time, the only moment the kernel sees a BypassD queue (§3.7).
+	q.QoS = pr.QoS
+	return q, nil
 }
 
 // AllocDMABuffer returns a pinned buffer UserLib uses for device

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ext4"
+	"repro/internal/nvme"
 	"repro/internal/pagetable"
 	"repro/internal/sim"
 )
@@ -20,6 +21,13 @@ type Process struct {
 	// Root confines the process's file-system view to a subtree
 	// (mount namespace, paper §5.2); empty = host namespace.
 	Root string
+	// QoS is the process's tenant service class. The BypassD kernel
+	// module stamps it onto every user queue the process registers
+	// (paper §3.7 delegates inter-process fairness to NVMe queue
+	// arbitration; the class is what a QoS-aware arbiter consults).
+	// Set it before the first CreateUserQueue; the zero value is the
+	// default class.
+	QoS nvme.QoS
 
 	nextVBA uint64
 	fds     map[int]*FD

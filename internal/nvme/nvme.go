@@ -128,13 +128,39 @@ type CQE struct {
 	Status Status
 }
 
+// QoS is the service class a queue pair carries through device
+// arbitration. The paper delegates inter-process fairness to NVMe
+// queue arbitration once the kernel I/O scheduler is bypassed (§3.7);
+// QoS is the per-queue state that arbitration consults. The kernel
+// driver stamps it at queue-registration time from the owning
+// process, so every UserLib per-thread queue inherits its tenant's
+// class. The zero value is the default class: weight 1, priority 0,
+// no rate limit — under the default flat round-robin arbiter it is
+// never consulted at all.
+type QoS struct {
+	// Weight is the queue's weighted-fair share; values <= 0 mean 1.
+	Weight int `json:"weight,omitempty"`
+	// Priority orders strict-priority arbitration; lower values are
+	// served first. Ignored by the round-robin arbiters.
+	Priority int `json:"priority,omitempty"`
+	// RateOps, when > 0, caps the rate at which commands are fetched
+	// from this queue (commands per second of virtual time) via a
+	// token bucket in the arbiter.
+	RateOps float64 `json:"rate_ops,omitempty"`
+	// Burst is the token-bucket depth; values <= 0 mean the arbiter's
+	// default.
+	Burst int `json:"burst,omitempty"`
+}
+
 // QueuePair is an in-memory NVMe submission/completion queue pair.
 // The kernel driver creates queue pairs and may map them into a
 // process (the BypassD interface); each pair carries the PASID of the
-// owning process so the IOMMU can locate its page tables.
+// owning process so the IOMMU can locate its page tables, and the QoS
+// class of the owning process so the device arbiter knows its share.
 type QueuePair struct {
 	ID    int
 	PASID uint32
+	QoS   QoS
 
 	sq       []SQE
 	sqHead   int

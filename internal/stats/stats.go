@@ -135,6 +135,73 @@ func (h *Histogram) Percentile(q float64) sim.Time {
 	return h.max
 }
 
+// PercentileMulti reports the values at each quantile in qs (each in
+// [0,100]) with a single scan of the bucket slice, index-aligned with
+// qs. Each result is exactly what Percentile would return for the
+// same quantile; the one-pass form exists so SLO summaries that need
+// p50/p99/p999 together do not pay three scans. qs must be sorted
+// ascending.
+func (h *Histogram) PercentileMulti(qs ...float64) []sim.Time {
+	out := make([]sim.Time, len(qs))
+	if h.total == 0 {
+		return out
+	}
+	ranks := make([]int64, len(qs))
+	for i, q := range qs {
+		if i > 0 && q < qs[i-1] {
+			panic("stats: PercentileMulti quantiles must be ascending")
+		}
+		r := int64(math.Ceil(q / 100 * float64(h.total)))
+		if r < 1 {
+			r = 1
+		}
+		ranks[i] = r
+	}
+	qi := 0
+	var seen int64
+	for b, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		seen += c
+		for qi < len(qs) && seen >= ranks[qi] {
+			out[qi] = bucketLow(b)
+			qi++
+		}
+		if qi == len(qs) {
+			return out
+		}
+	}
+	for ; qi < len(qs); qi++ {
+		out[qi] = h.max
+	}
+	return out
+}
+
+// Summary is a fixed percentile digest of a histogram — the surface
+// the tenancy plane's SLO accounting reports per tenant.
+type Summary struct {
+	Count int64
+	Mean  sim.Time
+	P50   sim.Time
+	P99   sim.Time
+	P999  sim.Time
+	Max   sim.Time
+}
+
+// Summarize computes the standard digest in one bucket scan.
+func (h *Histogram) Summarize() Summary {
+	p := h.PercentileMulti(50, 99, 99.9)
+	return Summary{
+		Count: h.total,
+		Mean:  h.Mean(),
+		P50:   p[0],
+		P99:   p[1],
+		P999:  p[2],
+		Max:   h.Max(),
+	}
+}
+
 // Merge folds other's samples into h.
 func (h *Histogram) Merge(other *Histogram) {
 	if len(other.counts) > len(h.counts) {

@@ -239,3 +239,60 @@ func TestTableConcurrentAddRow(t *testing.T) {
 	// Rendering under concurrent appends must not race or corrupt.
 	_ = tb.String()
 }
+
+// TestPercentileMultiMatchesPercentile: the one-pass multi-quantile
+// scan must agree exactly with repeated single-quantile scans, across
+// randomized histograms of varying size and value range.
+func TestPercentileMultiMatchesPercentile(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		h := NewHistogram()
+		n := 1 + rng.Intn(5000)
+		span := int64(1) << (1 + rng.Intn(40))
+		for i := 0; i < n; i++ {
+			h.Add(sim.Time(rng.Int63n(span) + 1))
+		}
+		qs := []float64{1, 25, 50, 90, 99, 99.9, 99.99, 100}
+		got := h.PercentileMulti(qs...)
+		for i, q := range qs {
+			if want := h.Percentile(q); got[i] != want {
+				t.Fatalf("trial %d (n=%d): p%v = %v via multi, %v via single", trial, n, q, got[i], want)
+			}
+		}
+	}
+}
+
+func TestPercentileMultiEdgeCases(t *testing.T) {
+	h := NewHistogram()
+	if got := h.PercentileMulti(50, 99); got[0] != 0 || got[1] != 0 {
+		t.Fatalf("empty histogram PercentileMulti = %v, want zeros", got)
+	}
+	h.Add(7)
+	if got := h.PercentileMulti(50, 99, 99.9); got[0] != got[1] || got[1] != got[2] {
+		t.Fatalf("single-sample quantiles differ: %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("descending quantiles did not panic")
+		}
+	}()
+	h.PercentileMulti(99, 50)
+}
+
+// TestSummarize: Summary mirrors the individual accessors.
+func TestSummarize(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Add(sim.Time(i))
+	}
+	s := h.Summarize()
+	if s.Count != h.Count() || s.Max != h.Max() {
+		t.Fatalf("summary count/max = %d/%v, want %d/%v", s.Count, s.Max, h.Count(), h.Max())
+	}
+	if s.P50 != h.Percentile(50) || s.P99 != h.Percentile(99) || s.P999 != h.Percentile(99.9) {
+		t.Fatalf("summary percentiles %v/%v/%v disagree with Percentile", s.P50, s.P99, s.P999)
+	}
+	if s.Mean != h.Mean() {
+		t.Fatalf("summary mean = %v, want %v", s.Mean, h.Mean())
+	}
+}

@@ -1,0 +1,366 @@
+// Package tenants is the multi-tenant QoS plane: open-loop per-tenant
+// traffic generation, device-side weighted arbitration, and SLO
+// accounting.
+//
+// The paper evaluates sharing with symmetric closed-loop fio jobs
+// (Figs. 10/11) and delegates inter-process fairness to NVMe queue
+// arbitration (§3.7). This package models the part that evaluation
+// leaves open: many competing clients with different priorities,
+// rates, and latency SLOs. Each tenant is its own OS process with its
+// own files and interface (sync/libaio/io_uring/SPDK/BypassD); a
+// seeded arrival process (Poisson or fixed-interval) generates
+// requests on the virtual clock independently of completions, so —
+// unlike internal/fio's closed loop — queueing delay is visible: a
+// request's sojourn time is measured from its generated arrival
+// instant to its completion, and a saturated tenant's backlog grows
+// instead of throttling the offered load.
+//
+// Determinism: a scenario runs on one fresh simulation; every random
+// draw (interarrival gaps, offsets, read/write mix) comes from a
+// per-tenant rand.Source seeded from the scenario seed and the tenant
+// index, drawn only by that tenant's generator proc. Replaying the
+// same seed reproduces every arrival and completion instant exactly,
+// at any host parallelism.
+package tenants
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/ext4"
+	"repro/internal/faults"
+	"repro/internal/fio"
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+	"repro/internal/nvme"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/userlib"
+)
+
+// Arrival selects a tenant's arrival process.
+type Arrival string
+
+// Supported arrival processes.
+const (
+	// Poisson draws exponential interarrival gaps at RateOps — the
+	// open-system model whose tail exposes queueing delay.
+	Poisson Arrival = "poisson"
+	// Fixed spaces arrivals exactly 1/RateOps apart.
+	Fixed Arrival = "fixed"
+)
+
+// Tenant describes one client of the shared device.
+type Tenant struct {
+	Name   string      `json:"name"`
+	Engine core.Engine `json:"engine"`
+
+	Arrival   Arrival  `json:"arrival,omitempty"`   // default Poisson
+	RateOps   float64  `json:"rate_ops"`            // offered load, requests/sec
+	Ops       int      `json:"ops"`                 // arrivals to generate
+	BS        int      `json:"bs"`                  // request size, bytes
+	WriteFrac float64  `json:"write_frac,omitempty"`
+	FileBytes int64    `json:"file_bytes"`
+	QD        int      `json:"qd,omitempty"` // service contexts; default 1
+	QoS       nvme.QoS `json:"qos,omitempty"`
+	SLO       sim.Time `json:"slo_ns,omitempty"` // per-request target; 0 = none
+}
+
+// Scenario is a complete multi-tenant run.
+type Scenario struct {
+	Name string `json:"name"`
+	// Arbiter selects the device arbitration policy: "rr" (default),
+	// "wrr", or "prio" (see device.ArbiterByName).
+	Arbiter  string   `json:"arbiter,omitempty"`
+	Capacity int64    `json:"capacity,omitempty"` // device bytes; 0 = auto
+	Tenants  []Tenant `json:"tenants"`
+}
+
+// Result aggregates one tenant's run.
+type Result struct {
+	Tenant Tenant
+
+	Ops   int64
+	Bytes int64
+	Start sim.Time // first arrival
+	End   sim.Time // last completion
+
+	// Sojourn is the arrival-to-completion latency distribution; on an
+	// open-loop tenant this includes time spent queued behind the
+	// tenant's own backlog, which closed-loop harnesses cannot see.
+	Sojourn *stats.Histogram
+
+	Compliant   int64 // requests with sojourn <= SLO (when SLO > 0)
+	PeakBacklog int   // largest generated-but-unclaimed backlog observed
+	Bursts      int64 // injected arrival spikes (faults.SiteTenantBurst)
+
+	// Lib is the tenant's UserLib degradation counters (BypassD
+	// tenants only; zero value otherwise).
+	Lib userlib.Stats
+}
+
+// Elapsed is the tenant's active window.
+func (r *Result) Elapsed() sim.Time { return r.End - r.Start }
+
+// IOPS reports achieved throughput over the active window.
+func (r *Result) IOPS() float64 { return stats.Throughput(r.Ops, r.Elapsed()) }
+
+// Bandwidth reports achieved bytes/sec over the active window.
+func (r *Result) Bandwidth() float64 { return stats.BytesPerSec(r.Bytes, r.Elapsed()) }
+
+// Compliance reports the fraction of requests inside the SLO, in
+// percent; 100 when no SLO was set.
+func (r *Result) Compliance() float64 {
+	if r.Tenant.SLO <= 0 || r.Ops == 0 {
+		return 100
+	}
+	return 100 * float64(r.Compliant) / float64(r.Ops)
+}
+
+// burstArrivals is the number of consecutive arrivals an injected
+// tenant-storm spike compresses to a single instant.
+const burstArrivals = 32
+
+// request is one generated arrival.
+type request struct {
+	at    sim.Time
+	off   int64
+	write bool
+}
+
+// tenantState is the generator→worker hand-off queue. The simulation
+// runs one goroutine at a time, so plain fields suffice.
+type tenantState struct {
+	queue   []request
+	head    int
+	genDone bool
+	abort   bool
+	more    *sim.Cond
+}
+
+func (t *Tenant) validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("tenants: tenant needs a name")
+	}
+	if t.BS <= 0 || t.BS%storage.SectorSize != 0 {
+		return fmt.Errorf("tenants: %s: block size %d not sector aligned", t.Name, t.BS)
+	}
+	if t.FileBytes < int64(t.BS) {
+		return fmt.Errorf("tenants: %s: file smaller than one request", t.Name)
+	}
+	if t.RateOps <= 0 {
+		return fmt.Errorf("tenants: %s: rate must be positive", t.Name)
+	}
+	if t.Ops <= 0 {
+		return fmt.Errorf("tenants: %s: ops must be positive", t.Name)
+	}
+	switch t.Arrival {
+	case "", Poisson, Fixed:
+	default:
+		return fmt.Errorf("tenants: %s: unknown arrival process %q", t.Name, t.Arrival)
+	}
+	return nil
+}
+
+// interarrival draws the next gap for the tenant's arrival process.
+func interarrival(rng *rand.Rand, t *Tenant) sim.Time {
+	period := 1e9 / t.RateOps
+	if t.Arrival == Fixed {
+		return sim.Time(period)
+	}
+	return sim.Time(rng.ExpFloat64() * period)
+}
+
+// Run executes a scenario on one freshly booted system and returns
+// per-tenant results in tenant order.
+func Run(seed int64, sc Scenario) ([]*Result, error) {
+	if len(sc.Tenants) == 0 {
+		return nil, fmt.Errorf("tenants: scenario %q has no tenants", sc.Name)
+	}
+	for i := range sc.Tenants {
+		if err := sc.Tenants[i].validate(); err != nil {
+			return nil, err
+		}
+	}
+	capacity := sc.Capacity
+	if capacity == 0 {
+		var need int64 = 64 << 20
+		for _, t := range sc.Tenants {
+			need += t.FileBytes
+		}
+		capacity = need*3/2 + (64 << 20)
+		capacity = (capacity + storage.SectorSize - 1) &^ (storage.SectorSize - 1)
+	}
+	sys, err := core.New(capacity)
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Sim.Shutdown()
+	sys.M.Dev.SetArbiter(device.ArbiterByName(sc.Arbiter))
+
+	results := make([]*Result, len(sc.Tenants))
+	procs := make([]*kernel.Process, len(sc.Tenants))
+	for i := range sc.Tenants {
+		results[i] = &Result{Tenant: sc.Tenants[i], Sojourn: stats.NewHistogram()}
+	}
+	var runErr error
+	fail := func(err error) {
+		if runErr == nil {
+			runErr = err
+		}
+	}
+
+	sys.Sim.Spawn("tenants-setup", func(p *sim.Proc) {
+		root := sys.NewProcess(ext4.Root)
+		if err := root.Mkdir(p, "/tenants", 0o777); err != nil {
+			fail(err)
+			return
+		}
+		for ti := range sc.Tenants {
+			t := &sc.Tenants[ti]
+			if err := fio.SetupFile(p, sys, root, tenantPath(ti), t.Engine, t.FileBytes); err != nil {
+				fail(err)
+				return
+			}
+		}
+		if err := root.Sync(p); err != nil {
+			fail(err)
+			return
+		}
+		for ti := range sc.Tenants {
+			// Each tenant is its own process: own address space, own
+			// PASID, own QoS class on every queue it registers.
+			pr := sys.NewProcess(ext4.Root)
+			pr.QoS = sc.Tenants[ti].QoS
+			procs[ti] = pr
+			startTenant(sys, pr, &sc.Tenants[ti], ti, seed, results[ti], fail)
+		}
+	})
+	sys.Sim.Run()
+	if runErr != nil {
+		return nil, runErr
+	}
+	for ti := range sc.Tenants {
+		if sc.Tenants[ti].Engine == core.EngineBypassD {
+			results[ti].Lib = sys.Lib(procs[ti]).Stats
+		}
+	}
+	return results, nil
+}
+
+func tenantPath(ti int) string { return fmt.Sprintf("/tenants/t%d", ti) }
+
+// startTenant spawns one tenant's generator and its QD service
+// workers on the scenario's simulation.
+func startTenant(sys *core.System, pr *kernel.Process, t *Tenant, ti int, seed int64, res *Result, fail func(error)) {
+	st := &tenantState{more: sys.Sim.NewCond()}
+	path := tenantPath(ti)
+	writable := t.WriteFrac > 0
+	qd := t.QD
+	if qd < 1 {
+		qd = 1
+	}
+	mOps := metrics.GetCounter("tenant_ops_total", "tenant", t.Name)
+	mMiss := metrics.GetCounter("tenant_slo_miss_total", "tenant", t.Name)
+	mSojourn := metrics.GetHistogram("tenant_sojourn_ns", "tenant", t.Name)
+
+	sys.Sim.Spawn("tenant-gen-"+t.Name, func(g *sim.Proc) {
+		// One stream per tenant, drawn only here: arrival instants and
+		// request contents never depend on service order.
+		rng := rand.New(rand.NewSource(seed*7919 + int64(ti)*104729 + 17))
+		blocks := t.FileBytes / int64(t.BS)
+		inj := sys.M.Faults
+		burst := 0
+		for i := 0; i < t.Ops && !st.abort; i++ {
+			if burst > 0 {
+				burst--
+			} else {
+				if gap := interarrival(rng, t); gap > 0 {
+					g.Sleep(gap)
+				}
+				if inj.Fire(faults.SiteTenantBurst) {
+					// Arrival spike: this and the next burstArrivals-1
+					// requests land at one instant.
+					burst = burstArrivals - 1
+					res.Bursts++
+				}
+			}
+			if res.Start == 0 {
+				res.Start = g.Now()
+			}
+			st.queue = append(st.queue, request{
+				at:    g.Now(),
+				off:   rng.Int63n(blocks) * int64(t.BS),
+				write: rng.Float64() < t.WriteFrac,
+			})
+			if backlog := len(st.queue) - st.head; backlog > res.PeakBacklog {
+				res.PeakBacklog = backlog
+			}
+			st.more.Signal()
+		}
+		st.genDone = true
+		st.more.Broadcast()
+	})
+
+	for wi := 0; wi < qd; wi++ {
+		sys.Sim.Spawn(fmt.Sprintf("tenant-%s-w%d", t.Name, wi), func(w *sim.Proc) {
+			abort := func(err error) {
+				fail(err)
+				st.abort = true
+				st.more.Broadcast()
+			}
+			io, err := sys.NewFileIO(w, pr, t.Engine)
+			if err != nil {
+				abort(err)
+				return
+			}
+			fd, err := io.Open(w, path, writable)
+			if err != nil {
+				abort(err)
+				return
+			}
+			buf := make([]byte, t.BS)
+			for !st.abort {
+				if st.head < len(st.queue) {
+					req := st.queue[st.head]
+					st.head++
+					var err error
+					if req.write {
+						_, err = io.Pwrite(w, fd, buf, req.off)
+					} else {
+						_, err = io.Pread(w, fd, buf, req.off)
+					}
+					if err != nil {
+						abort(fmt.Errorf("tenants: %s: %w", t.Name, err))
+						return
+					}
+					now := w.Now()
+					soj := now - req.at
+					res.Sojourn.Add(soj)
+					res.Ops++
+					res.Bytes += int64(t.BS)
+					mOps.Inc()
+					mSojourn.Observe(soj)
+					if t.SLO > 0 {
+						if soj <= t.SLO {
+							res.Compliant++
+						} else {
+							mMiss.Inc()
+						}
+					}
+					if now > res.End {
+						res.End = now
+					}
+					continue
+				}
+				if st.genDone {
+					return
+				}
+				st.more.Wait(w)
+			}
+		})
+	}
+}
