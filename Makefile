@@ -2,7 +2,12 @@ GO ?= go
 FUZZTIME ?= 10s
 FUZZ_TARGETS := FuzzExtentTree FuzzRename
 
-.PHONY: all build test race vet bench bench-json bench-check fuzz check trace-smoke clean
+.PHONY: all build test race vet bench bench-json bench-check profile fuzz check trace-smoke clean
+
+# The benchmarks the committed snapshot and the throughput gate track:
+# the Fig. 6/9 harnesses, the headline 4 KiB read (steady-state and
+# boot-inclusive), and the simulated-IOPS throughput family.
+GATE_BENCH := Fig6LatBW|Fig9Scaling|Direct4KRead|BootDirect4KRead|SimThroughput
 
 all: check
 
@@ -24,24 +29,39 @@ vet:
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
-# bench-json regenerates the committed benchmark snapshot for the
-# translation fast path (Fig. 6/9 harnesses plus the headline 4 KiB
-# read). Set BASELINE=<old bench output file> to embed a before/after
-# pair in the JSON.
+# bench-json regenerates the committed benchmark snapshot: the
+# Fig. 6/9 harnesses, the headline 4 KiB read, and the throughput
+# family with its events/sec and wall-ns-per-virtual-ns metrics. Set
+# BASELINE=<old bench output file> to embed a before/after pair.
 bench-json:
-	$(GO) test -bench 'Fig6LatBW|Fig9Scaling|Direct4KRead' -benchmem -run '^$$' . \
-		| $(GO) run ./cmd/benchjson $(if $(BASELINE),-baseline $(BASELINE)) -o BENCH_PR5.json
-	@echo wrote BENCH_PR5.json
+	$(GO) test -bench '$(GATE_BENCH)' -benchmem -run '^$$' . \
+		| $(GO) run ./cmd/benchjson $(if $(BASELINE),-baseline $(BASELINE)) -o BENCH_PR6.json
+	@echo wrote BENCH_PR6.json
 
-# bench-check is the allocation-budget regression gate: the end-to-end
-# 4 KiB BypassD read must stay within its allocs/op budget (see
-# TestDirect4KReadAllocBudget) with the QoS arbiter on the dispatch
-# path, and every arbiter's steady-state grant must stay
-# allocation-free (TestArbiterZeroAllocHotPath). Opt-in via
-# BENCH_CHECK=1 so ordinary test runs never flake on allocation noise.
+# bench-check is the performance regression gate, in three parts:
+#  1. allocation budgets — a steady-state 4 KiB BypassD read must stay
+#     within single-digit allocs/op and the boot-inclusive path within
+#     its budget (Test*AllocBudget), with every arbiter's steady-state
+#     grant allocation-free (TestArbiterZeroAllocHotPath);
+#  2. throughput — the gated benchmarks must stay within 25% of the
+#     committed BENCH_PR6.json ns/op (benchjson -check, which takes
+#     the min over -count 3 repetitions; min-of-N plus the tolerance
+#     absorbs host noise, so only real regressions fail);
+# Opt-in pieces use BENCH_CHECK=1 so ordinary test runs never flake on
+# cross-test allocation noise.
 bench-check:
-	BENCH_CHECK=1 $(GO) test -run TestDirect4KReadAllocBudget -count=1 -v .
+	BENCH_CHECK=1 $(GO) test -run 'AllocBudget' -count=1 -v .
 	$(GO) test -run TestArbiterZeroAllocHotPath -count=1 -v ./internal/device
+	$(GO) test -bench '$(GATE_BENCH)' -benchmem -benchtime 5x -count 3 -run '^$$' . \
+		| $(GO) run ./cmd/benchjson -check BENCH_PR6.json
+
+# profile writes host CPU and allocation profiles of the Fig. 6
+# harness (the heaviest sweep) for `go tool pprof`. Separate runs:
+# -memprofilerate alongside -cpuprofile skews the CPU numbers.
+profile:
+	$(GO) test -bench Fig6LatBW -benchtime 10x -run '^$$' -cpuprofile cpu.prof .
+	$(GO) test -bench Fig6LatBW -benchtime 10x -run '^$$' -memprofile mem.prof .
+	@echo "wrote cpu.prof mem.prof — inspect with: go tool pprof cpu.prof"
 
 # fuzz runs each native fuzz target for FUZZTIME (go test -fuzz takes
 # exactly one target per invocation, hence the loop).

@@ -12,6 +12,8 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/tenants"
+	"repro/internal/trace"
 )
 
 // benchParallel fans each experiment's sweep cells out to this many
@@ -68,44 +70,116 @@ func BenchmarkExtExtentTableWalker(b *testing.B)   { benchExperiment(b, "A6") }
 func BenchmarkSupDeviceGenerality(b *testing.B) { benchExperiment(b, "S1") }
 func BenchmarkSupVMSupport(b *testing.B)        { benchExperiment(b, "S2") }
 
-// BenchmarkDirect4KRead measures the headline data point — one 4 KiB
-// BypassD read — end to end through the public API, reporting virtual
-// latency per op.
+// BenchmarkDirect4KRead measures the headline data point — one warm
+// 4 KiB BypassD read — end to end through the public API, reporting
+// virtual latency per op. The system boots once outside the timed
+// region: this is the steady-state cost of a read, the number the
+// zero-alloc work targets (see BenchmarkBootDirect4KRead for the
+// boot-inclusive variant).
 func BenchmarkDirect4KRead(b *testing.B) {
+	sys, io, fd, buf := bootDirect4K(b)
+	defer sys.Close()
+	var virtual Time
+	read := func(p *Proc) {
+		start := p.Now()
+		if _, err := io.Pread(p, fd, buf, 4096); err != nil {
+			b.Error(err)
+		}
+		virtual += p.Now() - start
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sys, err := New(1 << 30)
+		Run(sys, "bench", read)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(virtual)/float64(b.N), "virtual-ns/op")
+}
+
+// BenchmarkBootDirect4KRead is the historical form of the headline
+// benchmark: boot, create, fallocate, and one warm read per op. It
+// tracks boot-path cost (ext4 Mkfs/Mount, page-table and queue
+// setup), which the steady-state benchmark above deliberately hides.
+func BenchmarkBootDirect4KRead(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		direct4KRead(b)
+	}
+}
+
+// throughputReads is the batch size of one throughput-benchmark op:
+// enough reads per Run() that the spawn/drain cost of entering the
+// simulation is amortized the way a real experiment amortizes it.
+const throughputReads = 64
+
+// benchSimThroughput drives batches of warm 4 KiB BypassD reads on one
+// booted system and reports the simulator's event-dispatch rate —
+// events/sec of host wall clock — alongside ns/op. traceOn measures
+// the observability plane's overhead on the same workload.
+func benchSimThroughput(b *testing.B, traceOn bool) {
+	sys, io, fd, buf := bootDirect4K(b)
+	defer sys.Close()
+	if traceOn {
+		// NewFileIO decorates with tracedIO only when the machine has
+		// a tracer, so the traced handle must be created after this.
+		sys.M.EnableTrace(trace.NewTracer("bench"))
+		Run(sys, "boot-traced", func(p *Proc) {
+			tio, err := sys.NewFileIO(p, sys.NewProcess(RootCred), EngineBypassD)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			io = tio
+			fd, _ = io.Open(p, "/bench", false)
+			_, _ = io.Pread(p, fd, buf, 0) // warm
+		})
+	}
+	var virtual Time
+	batch := func(p *Proc) {
+		start := p.Now()
+		for j := 0; j < throughputReads; j++ {
+			if _, err := io.Pread(p, fd, buf, 4096); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+		virtual += p.Now() - start
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	events := sys.Sim.Processed()
+	for i := 0; i < b.N; i++ {
+		Run(sys, "storm", batch)
+	}
+	b.StopTimer()
+	events = sys.Sim.Processed() - events
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(virtual)/float64(b.N), "virtual-ns/op")
+}
+
+// BenchmarkSimThroughputDirectRead is the dispatch-rate gate: batches
+// of steady-state BypassD reads, no tracing.
+func BenchmarkSimThroughputDirectRead(b *testing.B) { benchSimThroughput(b, false) }
+
+// BenchmarkSimThroughputTraceOn is the same workload with the trace
+// plane recording every I/O span.
+func BenchmarkSimThroughputTraceOn(b *testing.B) { benchSimThroughput(b, true) }
+
+// BenchmarkSimThroughputTenantStorm measures dispatch rate under the
+// multi-tenant QoS plane: competing open-loop tenants on a weighted
+// arbiter, boot included — the simulator's worst-case event mix
+// (timers, arbitration, cross-tenant interleaving).
+func BenchmarkSimThroughputTenantStorm(b *testing.B) {
+	sc := tenants.NoisyNeighbor("wrr", 2, 200, 200)
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		_, ev, err := tenants.RunCounted(int64(i)+1, sc)
 		if err != nil {
 			b.Fatal(err)
 		}
-		var virtual Time
-		Run(sys, "bench", func(p *Proc) {
-			pr := sys.NewProcess(RootCred)
-			fd, err := pr.Create(p, "/bench", 0o644)
-			if err != nil {
-				b.Error(err)
-				return
-			}
-			if err := pr.Fallocate(p, fd, 1<<20); err != nil {
-				b.Error(err)
-				return
-			}
-			_ = pr.Fsync(p, fd)
-			_ = pr.Close(p, fd)
-			io, err := sys.NewFileIO(p, sys.NewProcess(RootCred), EngineBypassD)
-			if err != nil {
-				b.Error(err)
-				return
-			}
-			f, _ := io.Open(p, "/bench", false)
-			buf := make([]byte, 4096)
-			_, _ = io.Pread(p, f, buf, 0) // warm
-			start := p.Now()
-			if _, err := io.Pread(p, f, buf, 4096); err != nil {
-				b.Error(err)
-			}
-			virtual = p.Now() - start
-		})
-		sys.Sim.Shutdown()
-		b.ReportMetric(float64(virtual), "virtual-ns/op")
+		events += ev
 	}
+	b.StopTimer()
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 }

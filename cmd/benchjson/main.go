@@ -5,11 +5,26 @@
 //
 //	go test -bench 'Fig6LatBW' -benchmem -run '^$' . | benchjson -o out.json
 //	benchjson -baseline old-bench.txt -o out.json < new-bench.txt
+//	go test -bench . -run '^$' . | benchjson -check BENCH_PR6.json
 //
 // Every metric pair the testing package prints is kept, including
-// custom b.ReportMetric units such as virtual-ns/op. The optional
-// -baseline flag parses a second bench-output file and embeds it under
-// "baseline" so one committed file carries the before/after pair.
+// custom b.ReportMetric units such as virtual-ns/op. When a benchmark
+// reports both ns/op and virtual-ns/op, the derived metric
+// wall-ns-per-virtual-ns (host nanoseconds spent per simulated
+// nanosecond — the simulator's slowdown factor) is added.
+//
+// The optional -baseline flag parses a second bench-output file and
+// embeds it under "baseline" so one committed file carries the
+// before/after pair.
+//
+// -check compares the parsed run against a committed snapshot JSON
+// and exits nonzero if any benchmark present in both regressed its
+// ns/op by more than -tolerance (default 0.25, i.e. fail only when
+// more than 25% slower — host timings on shared CI machines are
+// noisy, so small drifts must not fail the gate). Repeated lines for
+// one benchmark (go test -count N) collapse to the minimum ns/op
+// before comparison. Benchmarks missing from either side are
+// reported but do not fail the check.
 package main
 
 import (
@@ -111,7 +126,69 @@ func parseBenchLine(line string) (benchLine, bool) {
 		}
 		bl.Metrics[fields[i+1]] = v
 	}
+	// Derived: how many host nanoseconds one simulated nanosecond
+	// costs. The throughput work drives this down; the snapshot
+	// trajectory makes the progress visible.
+	if wall, ok := bl.Metrics["ns/op"]; ok {
+		if virt, ok := bl.Metrics["virtual-ns/op"]; ok && virt > 0 {
+			bl.Metrics["wall-ns-per-virtual-ns"] = wall / virt
+		}
+	}
 	return bl, true
+}
+
+// checkAgainst compares cur to the committed snapshot, enforcing the
+// ns/op tolerance. When the run carries repeated lines for one
+// benchmark (go test -count N), the minimum ns/op wins — min over
+// repetitions is the standard noise-robust estimator, so a loaded
+// host needs every repetition to be slow before the gate trips. It
+// returns the number of failures and prints one line per benchmark
+// to w.
+func checkAgainst(w io.Writer, cur benchRun, snap output, tolerance float64) int {
+	snapshot := map[string]benchLine{}
+	for _, b := range snap.Run.Benchmarks {
+		snapshot[b.Name] = b
+	}
+	best := map[string]benchLine{}
+	var order []string
+	for _, b := range cur.Benchmarks {
+		prev, ok := best[b.Name]
+		if !ok {
+			order = append(order, b.Name)
+		}
+		if !ok || b.Metrics["ns/op"] < prev.Metrics["ns/op"] {
+			best[b.Name] = b
+		}
+	}
+	failures := 0
+	seen := map[string]bool{}
+	for _, name := range order {
+		b := best[name]
+		seen[b.Name] = true
+		base, ok := snapshot[b.Name]
+		if !ok {
+			fmt.Fprintf(w, "  NEW   %-28s %.0f ns/op (not in snapshot)\n", b.Name, b.Metrics["ns/op"])
+			continue
+		}
+		now, baseNs := b.Metrics["ns/op"], base.Metrics["ns/op"]
+		if baseNs <= 0 {
+			continue
+		}
+		ratio := now / baseNs
+		status := "ok"
+		if ratio > 1+tolerance {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Fprintf(w, "  %-5s %-28s %.0f -> %.0f ns/op (%+.1f%%, tolerance %+.0f%%)\n",
+			status, b.Name, baseNs, now, 100*(ratio-1), 100*tolerance)
+	}
+	for _, b := range snap.Run.Benchmarks {
+		if !seen[b.Name] {
+			fmt.Fprintf(w, "  GONE  %-28s in snapshot but not in this run\n", b.Name)
+		}
+	}
+	return failures
 }
 
 func main() {
@@ -120,8 +197,10 @@ func main() {
 
 func run() int {
 	var (
-		outPath  = flag.String("o", "", "write JSON here instead of stdout")
-		baseline = flag.String("baseline", "", "optional prior `go test -bench` text output to embed under \"baseline\"")
+		outPath   = flag.String("o", "", "write JSON here instead of stdout")
+		baseline  = flag.String("baseline", "", "optional prior `go test -bench` text output to embed under \"baseline\"")
+		checkPath = flag.String("check", "", "committed snapshot JSON to gate ns/op against; exits 1 on regression beyond -tolerance")
+		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression in -check mode")
 	)
 	flag.Parse()
 
@@ -129,6 +208,24 @@ func run() int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: parse stdin: %v\n", err)
 		return 1
+	}
+	if *checkPath != "" {
+		data, err := os.ReadFile(*checkPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		var snap output
+		if err := json.Unmarshal(data, &snap); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parse %s: %v\n", *checkPath, err)
+			return 1
+		}
+		fmt.Printf("benchjson: checking against %s\n", *checkPath)
+		if n := checkAgainst(os.Stdout, cur, snap, *tolerance); n > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond tolerance\n", n)
+			return 1
+		}
+		return 0
 	}
 	doc := output{GeneratedBy: "make bench-json", GoVersion: runtime.Version(), Run: cur}
 	if *baseline != "" {

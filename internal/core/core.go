@@ -43,6 +43,10 @@ type System struct {
 
 	libs map[*kernel.Process]*userlib.Lib
 	spdk *spdk.Driver
+
+	// ownStore marks a system booted on a fresh store (not a caller's
+	// prebuilt image); only then may Close recycle the chunks.
+	ownStore bool
 }
 
 // New boots a fresh system with the paper's device and kernel
@@ -58,7 +62,24 @@ func NewOn(s *sim.Sim, capacityBytes int64, st *storage.Store) (*System, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &System{Sim: s, M: m, libs: make(map[*kernel.Process]*userlib.Lib)}, nil
+	return &System{Sim: s, M: m, libs: make(map[*kernel.Process]*userlib.Lib), ownStore: st == nil}, nil
+}
+
+// Close shuts the simulation down and, when the system owns its
+// backing store (booted fresh rather than from a caller's image),
+// returns the store's chunks to the shared pool. Harnesses that boot
+// and discard a machine per run call this instead of Sim.Shutdown;
+// callers that remount the image afterwards (crash-recovery tests)
+// must stick to Sim.Shutdown.
+func (sys *System) Close() {
+	sys.Sim.Shutdown()
+	sys.M.ReleaseResources()
+	if sys.spdk != nil {
+		sys.spdk.ReleaseResources()
+	}
+	if sys.ownStore {
+		sys.M.Dev.Store().Release()
+	}
 }
 
 // NewProcess creates a process with the given credentials.

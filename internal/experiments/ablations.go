@@ -137,7 +137,7 @@ func runSharedQueues(o Options, shared bool, threads, ops int) (sim.Time, float6
 	if err != nil {
 		return 0, 0, err
 	}
-	defer sys.Sim.Shutdown()
+	defer sys.Close()
 
 	hist := stats.NewHistogram()
 	var runErr error
@@ -285,7 +285,7 @@ func runA3(o Options) (*Report, error) {
 			}
 		})
 		sys.Sim.Run()
-		sys.Sim.Shutdown()
+		sys.Close()
 		if runErr != nil {
 			return 0, runErr
 		}
@@ -406,7 +406,7 @@ func runA5(o Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer sys.Sim.Shutdown()
+	defer sys.Close()
 	var syncThr, asyncThr float64
 	var runErr error
 	sys.Sim.Spawn("a5", func(p *sim.Proc) {
@@ -540,7 +540,7 @@ func runA6(o Options) (*Report, error) {
 			lat = (p.Now() - start) / sim.Time(reads)
 		})
 		sys.Sim.Run()
-		sys.Sim.Shutdown()
+		sys.Close()
 		if runErr != nil {
 			return point{}, runErr
 		}

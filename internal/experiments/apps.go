@@ -29,7 +29,7 @@ func runWT(o Options, system string, wl ycsb.Workload, threads int, keys uint64,
 	if err != nil {
 		return 0, err
 	}
-	defer sys.Sim.Shutdown()
+	defer sys.Close()
 
 	var runErr error
 	var start, end sim.Time
@@ -250,7 +250,7 @@ func runBPFKV(o Options, mode string, threads int, objects uint64, opsPerThread 
 	if err != nil {
 		return 0, 0, err
 	}
-	defer sys.Sim.Shutdown()
+	defer sys.Close()
 	st, err := bpfkv.Plan(objects, 6)
 	if err != nil {
 		return 0, 0, err
@@ -401,7 +401,7 @@ func runKVell(o Options, mode string, wl ycsb.Workload, threads int, items uint6
 	if err != nil {
 		return 0, 0, err
 	}
-	defer sys.Sim.Shutdown()
+	defer sys.Close()
 
 	hist := stats.NewHistogram()
 	var runErr error

@@ -107,7 +107,7 @@ func runT6XRP(o Options, ops int) (t6Result, error) {
 	if err != nil {
 		return t6Result{}, err
 	}
-	defer sys.Sim.Shutdown()
+	defer sys.Close()
 	if sys.M.Trace == nil {
 		sys.M.EnableTrace(trace.NewTracer("xrp"))
 	}

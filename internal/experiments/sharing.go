@@ -133,7 +133,7 @@ func runF12(o Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer sys.Sim.Shutdown()
+	defer sys.Close()
 	series := stats.NewSeries(bucket)
 	var runErr error
 	var directBefore, fellBack bool

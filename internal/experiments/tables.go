@@ -28,7 +28,7 @@ func runT1(o Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer sys.Sim.Shutdown()
+	defer sys.Close()
 	var total sim.Time
 	var runErr error
 	sys.Sim.Spawn("t1", func(p *sim.Proc) {
@@ -232,7 +232,7 @@ func runT5(o Options) (*Report, error) {
 			warmT = p.Now() - start
 		})
 		sys.Sim.Run()
-		sys.Sim.Shutdown()
+		sys.Close()
 		if runErr != nil {
 			return point{}, runErr
 		}

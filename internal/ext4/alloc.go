@@ -24,11 +24,51 @@ func (fs *FS) clearBit(b int64) {
 	fs.dirtyBitmap[b/8/BlockSize] = true
 }
 
+// setRun claims blocks [b, b+n), filling whole bitmap bytes at a time
+// — large fallocates walk this per block otherwise.
+func (fs *FS) setRun(b, n int64) {
+	for n > 0 {
+		if b%8 == 0 && n >= 8 {
+			fs.bitmap[b/8] = 0xff
+			fs.dirtyBitmap[b/8/BlockSize] = true
+			b += 8
+			n -= 8
+			continue
+		}
+		fs.setBit(b)
+		b++
+		n--
+	}
+}
+
+// clearRun releases blocks [b, b+n), byte-filling like setRun.
+func (fs *FS) clearRun(b, n int64) {
+	for n > 0 {
+		if b%8 == 0 && n >= 8 {
+			fs.bitmap[b/8] = 0
+			fs.dirtyBitmap[b/8/BlockSize] = true
+			b += 8
+			n -= 8
+			continue
+		}
+		fs.clearBit(b)
+		b++
+		n--
+	}
+}
+
 // runAt returns the length of the free run starting at b, capped at
-// want.
+// want, skipping whole free bitmap bytes where possible.
 func (fs *FS) runAt(b, want int64) int64 {
 	var n int64
-	for n < want && b+n < fs.sb.BlockCount && !fs.testBit(b+n) {
+	for n < want && b+n < fs.sb.BlockCount {
+		if (b+n)%8 == 0 && want-n >= 8 && b+n+8 <= fs.sb.BlockCount && fs.bitmap[(b+n)/8] == 0 {
+			n += 8
+			continue
+		}
+		if fs.testBit(b + n) {
+			break
+		}
 		n++
 	}
 	return n
@@ -44,9 +84,7 @@ func (fs *FS) allocBlocks(count, goal int64) ([]Extent, error) {
 	var out []Extent
 	remaining := count
 	claim := func(start, n int64) {
-		for i := int64(0); i < n; i++ {
-			fs.setBit(start + i)
-		}
+		fs.setRun(start, n)
 		out = append(out, Extent{Start: uint32(start), Count: uint32(n)})
 		remaining -= n
 	}
@@ -65,6 +103,12 @@ func (fs *FS) allocBlocks(count, goal int64) ([]Extent, error) {
 		if pos >= fs.sb.BlockCount {
 			pos = fs.sb.DataStart
 		}
+		if pos%8 == 0 && pos+8 <= fs.sb.BlockCount && fs.bitmap[pos/8] == 0xff {
+			// Whole byte in use: skip eight blocks at once.
+			pos += 8
+			scanned += 8
+			continue
+		}
 		if fs.testBit(pos) {
 			pos++
 			scanned++
@@ -79,9 +123,7 @@ func (fs *FS) allocBlocks(count, goal int64) ([]Extent, error) {
 	if remaining > 0 {
 		// Roll back partial claims.
 		for _, e := range out {
-			for i := int64(0); i < int64(e.Count); i++ {
-				fs.clearBit(int64(e.Start) + i)
-			}
+			fs.clearRun(int64(e.Start), int64(e.Count))
 		}
 		return nil, ErrNoSpace
 	}

@@ -172,6 +172,24 @@ func (fs *FS) SetInjector(inj *faults.Injector) { fs.inj = inj }
 // SetTracer attaches the machine's span tracer (nil detaches).
 func (fs *FS) SetTracer(tr *trace.Tracer) { fs.tr = tr }
 
+// ReleaseResources returns the file system's recyclable structures —
+// the block bitmap and every cached inode's file-table fragments — to
+// their shared pools. Only a teardown path that owns the whole
+// machine (core.System.Close → Machine.ReleaseResources) may call it;
+// the FS must not be used afterwards.
+func (fs *FS) ReleaseResources() {
+	if fs.bitmap != nil {
+		storage.PutBuf(fs.bitmap)
+		fs.bitmap = nil
+	}
+	for _, in := range fs.inodes {
+		if in.ft != nil {
+			in.ft.Release()
+			in.ft = nil
+		}
+	}
+}
+
 // Mkfs formats the medium and returns nothing; mount afterwards.
 func Mkfs(bio BlockIO, opt Options) error {
 	if opt.Blocks < 64 {
@@ -199,8 +217,11 @@ func Mkfs(bio BlockIO, opt Options) error {
 	}
 
 	// Bitmap: metadata blocks used, everything else free, tail blocks
-	// beyond BlockCount marked used.
-	bitmap := make([]byte, bitmapBlocks*BlockSize)
+	// beyond BlockCount marked used. Pooled scratch: formatted once,
+	// written out, returned.
+	bitmap := storage.GetBuf(int(bitmapBlocks * BlockSize))
+	defer storage.PutBuf(bitmap)
+	clear(bitmap)
 	for b := int64(0); b < sb.DataStart; b++ {
 		bitmap[b/8] |= 1 << (b % 8)
 	}
@@ -273,19 +294,28 @@ func Mount(p *sim.Proc, bio BlockIO, devID uint8, now func() sim.Time) (*FS, err
 		return nil, err
 	}
 
-	fs.bitmap = make([]byte, fs.sb.BitmapBlocks*BlockSize)
+	// Pooled and recycled dirty: ReadBlocks overwrites every byte.
+	fs.bitmap = storage.GetBuf(int(fs.sb.BitmapBlocks * BlockSize))
 	if err := bio.ReadBlocks(p, fs.sb.BitmapStart, fs.sb.BitmapBlocks, fs.bitmap); err != nil {
 		return nil, err
 	}
 	fs.allocRotor = fs.sb.DataStart
 
-	// Scan the inode table for free slots.
-	tbl := make([]byte, BlockSize)
-	for b := int64(0); b < fs.sb.InodeBlocks; b++ {
-		if err := bio.ReadBlocks(p, fs.sb.InodeStart+b, 1, tbl); err != nil {
+	// Scan the inode table for free slots, reading in batches: a mount
+	// happens per machine per sweep cell, so per-block ReadBlocks round
+	// trips add up.
+	const scanBatch = 32
+	tbl := storage.GetBuf(scanBatch * BlockSize)
+	defer storage.PutBuf(tbl)
+	for b := int64(0); b < fs.sb.InodeBlocks; b += scanBatch {
+		n := fs.sb.InodeBlocks - b
+		if n > scanBatch {
+			n = scanBatch
+		}
+		if err := bio.ReadBlocks(p, fs.sb.InodeStart+b, n, tbl[:n*BlockSize]); err != nil {
 			return nil, err
 		}
-		for i := 0; i < InodesPerBlock; i++ {
+		for i := 0; i < int(n)*InodesPerBlock; i++ {
 			ino := uint32(b*InodesPerBlock+int64(i)) + 1
 			if ino > uint32(fs.sb.InodeCount) {
 				break

@@ -106,9 +106,21 @@ func (fs *FS) ensureAllocated(p *sim.Proc, in *Inode, blocks int64, zero bool) (
 	// the file fmap()ed sees the new blocks immediately (shared
 	// fragments, paper §4.1).
 	if in.ft != nil {
-		for fb := oldAlloc; fb < blocks; fb++ {
-			disk, _ := in.LookupBlock(fb)
-			in.ft.SetPage(int(fb), disk*SectorsPerBlock)
+		// Walk the extent list once instead of one LookupBlock binary
+		// search per page; extents are sorted by FileBlock.
+		for _, e := range in.Extents {
+			lo, hi := int64(e.FileBlock), int64(e.FileBlock)+int64(e.Count)
+			if hi <= oldAlloc || lo >= blocks {
+				continue
+			}
+			if lo < oldAlloc {
+				lo = oldAlloc
+			}
+			if hi > blocks {
+				hi = blocks
+			}
+			disk := int64(e.Start) + (lo - int64(e.FileBlock))
+			in.ft.SetRun(int(lo), disk*SectorsPerBlock, int(hi-lo))
 		}
 	}
 	fs.markDirty(in)
@@ -295,8 +307,8 @@ func (fs *FS) FileTable(in *Inode) (ft *pagetable.FileTable, built bool) {
 		return in.ft, false
 	}
 	in.ft = pagetable.NewFileTable(fs.devID)
-	for fb, disk := range in.BlockMap() {
-		in.ft.SetPage(fb, disk*SectorsPerBlock)
+	for _, e := range in.Extents {
+		in.ft.SetRun(int(e.FileBlock), int64(e.Start)*SectorsPerBlock, int(e.Count))
 	}
 	return in.ft, true
 }

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/device"
 	"repro/internal/ext4"
 	"repro/internal/kernel"
 	"repro/internal/sim"
@@ -116,7 +117,7 @@ func Run(spec Spec, groups []Group) (map[string]*GroupResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer sys.Sim.Shutdown()
+	defer sys.Close()
 	sys.M.MMU.SetFixedVBALatency(spec.VBAFixedLatency)
 	sys.M.MMU.SetCacheFTEs(spec.CacheFTEs)
 	if spec.PWCEntries != 0 || spec.PWCHitWalkLatency != 0 || spec.PWCMinTranslation != 0 {
@@ -230,7 +231,11 @@ func Run(spec Spec, groups []Group) (map[string]*GroupResult, error) {
 						return
 					}
 					rng := rand.New(rand.NewSource(seed))
-					buf := make([]byte, g.BS)
+					// Pooled worker buffer; cleared so written file
+					// content matches a fresh zero-filled allocation.
+					buf := device.GetDMABuf(g.BS)
+					defer device.PutDMABuf(buf)
+					clear(buf)
 					blocks := g.FileBytes / int64(g.BS)
 
 					started++

@@ -40,11 +40,43 @@ type AioContext struct {
 	inflight int
 	done     []AioResult
 	cond     *sim.Cond
+
+	// reqFree recycles the per-op helper state (and its resolved
+	// segment buffer) so a deep-queue submitter like KVell allocates
+	// nothing per I/O in steady state.
+	reqFree []*aioReq
+}
+
+// aioReq carries one submitted op to its helper proc via SpawnArg —
+// the per-op closure this replaces was a top allocation site.
+type aioReq struct {
+	c    *AioContext
+	op   AioOp
+	segs []sectorSeg
+	sp   *trace.IOSpan
 }
 
 // NewAioContext creates a context.
 func (pr *Process) NewAioContext() *AioContext {
 	return &AioContext{pr: pr, cond: pr.M.Sim.NewCond()}
+}
+
+// getReq hands out a request box for one submitted op.
+func (c *AioContext) getReq() *aioReq {
+	if n := len(c.reqFree); n > 0 {
+		r := c.reqFree[n-1]
+		c.reqFree[n-1] = nil
+		c.reqFree = c.reqFree[:n-1]
+		return r
+	}
+	return &aioReq{c: c}
+}
+
+// putReq retires a request box, keeping its segment buffer for reuse.
+func (c *AioContext) putReq(r *aioReq) {
+	r.op = AioOp{}
+	r.sp = nil
+	c.reqFree = append(c.reqFree, r)
 }
 
 // Inflight reports submitted-but-unreaped operations.
@@ -81,51 +113,62 @@ func (c *AioContext) Submit(p *sim.Proc, ops []AioOp) error {
 		pr.vfsCharge(p, len(op.Buf))
 		pr.M.CPU.Compute(p, pr.M.Cfg.BlockLayer+pr.M.Cfg.DriverSubmit)
 
-		segs, err := resolveSectors(f.Ino, op.Off, int64(len(op.Buf)))
+		req := c.getReq()
+		segs, err := resolveSectorsInto(req.segs, f.Ino, op.Off, int64(len(op.Buf)))
 		if lock != nil {
 			lock.Release()
 		}
 		if err != nil {
+			c.putReq(req)
 			return err
 		}
 		c.inflight++
-		op := op
+		req.op = op
+		req.segs = segs
 		// The span belongs to the submitting proc; capture it here so
 		// the helper proc's submissions mark the right request.
-		sp := trace.SpanFrom(p)
-		pr.M.Sim.Spawn("aio-op", func(w *sim.Proc) {
-			opcode := nvme.OpRead
-			if op.Write {
-				opcode = nvme.OpWrite
-			}
-			var bad error
-			bufOff := int64(0)
-			for _, s := range segs {
-				n := s.Sectors * storage.SectorSize
-				st := pr.M.kq.submitRetry(w, nvme.SQE{
-					Opcode:  opcode,
-					SLBA:    s.Sector,
-					Sectors: s.Sectors,
-					Buf:     op.Buf[bufOff : bufOff+n],
-					Span:    sp,
-				})
-				if !st.OK() {
-					bad = fmt.Errorf("kernel: aio %v at sector %d on %s: %v",
-						opcode, s.Sector, pr.M.Dev.Config().Name, st)
-					break
-				}
-				bufOff += n
-			}
-			c.inflight--
-			n := len(op.Buf)
-			if bad != nil {
-				n = 0
-			}
-			c.done = append(c.done, AioResult{Tag: op.Tag, N: n, Err: bad})
-			c.cond.Broadcast()
-		})
+		req.sp = trace.SpanFrom(p)
+		pr.M.Sim.SpawnArg("aio-op", aioRun, req)
 	}
 	return nil
+}
+
+// aioRun is the shared helper-proc body: execute one submitted op's
+// device commands, post its result, and retire the request box.
+func aioRun(w *sim.Proc, arg any) {
+	req := arg.(*aioReq)
+	c := req.c
+	pr := c.pr
+	opcode := nvme.OpRead
+	if req.op.Write {
+		opcode = nvme.OpWrite
+	}
+	var bad error
+	bufOff := int64(0)
+	for _, s := range req.segs {
+		n := s.Sectors * storage.SectorSize
+		st := pr.M.kq.submitRetry(w, nvme.SQE{
+			Opcode:  opcode,
+			SLBA:    s.Sector,
+			Sectors: s.Sectors,
+			Buf:     req.op.Buf[bufOff : bufOff+n],
+			Span:    req.sp,
+		})
+		if !st.OK() {
+			bad = fmt.Errorf("kernel: aio %v at sector %d on %s: %v",
+				opcode, s.Sector, pr.M.Dev.Config().Name, st)
+			break
+		}
+		bufOff += n
+	}
+	c.inflight--
+	n := len(req.op.Buf)
+	if bad != nil {
+		n = 0
+	}
+	c.done = append(c.done, AioResult{Tag: req.op.Tag, N: n, Err: bad})
+	c.putReq(req)
+	c.cond.Broadcast()
 }
 
 // GetEvents reaps between min and max completions (io_getevents),

@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"repro/internal/device"
 	"repro/internal/ext4"
 	"repro/internal/faults"
 	"repro/internal/nvme"
@@ -36,7 +37,10 @@ func (pr *Process) AllocDMABuffer(p *sim.Proc, size int) []byte {
 	pr.enter(p)
 	defer pr.exit(p)
 	pr.M.CPU.Compute(p, 1*sim.Microsecond)
-	return make([]byte, size)
+	buf := device.GetDMABuf(size)
+	// Track for recycling at machine teardown (core.System.Close).
+	pr.M.dmaBufs = append(pr.M.dmaBufs, buf)
+	return buf
 }
 
 // OpenBypass opens path intending BypassD-interface access: the open

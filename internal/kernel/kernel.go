@@ -106,6 +106,24 @@ type Machine struct {
 	// KVell on YCSB A, which BypassD sidesteps by writing from
 	// userspace (§6.5).
 	writeLocks map[uint32]*sim.Resource
+
+	// dmaBufs tracks every pinned DMA buffer handed out on this
+	// machine, recycled at teardown via ReleaseResources.
+	dmaBufs [][]byte
+}
+
+// ReleaseResources returns the machine's recyclable structures — queue
+// rings and pinned DMA buffers — to their shared pools. Only a
+// teardown path that owns the machine (core.System.Close) may call it;
+// the machine must not be used afterwards.
+func (m *Machine) ReleaseResources() {
+	m.Dev.ReleaseResources()
+	m.FS.ReleaseResources()
+	for i, b := range m.dmaBufs {
+		device.PutDMABuf(b)
+		m.dmaBufs[i] = nil
+	}
+	m.dmaBufs = nil
 }
 
 // Attachment is one process's fmap()ed view of a file.
@@ -205,7 +223,27 @@ type kernelQueue struct {
 	q       *nvme.QueuePair
 	waiters map[uint16]*waiter
 	nextCID uint16
+
+	// wFree recycles waiter boxes: the kernel issues one per command,
+	// and a steady stream of block I/O would otherwise allocate one per
+	// op forever. Single-goroutine, like everything under the scheduler.
+	wFree []*waiter
 }
+
+// getWaiter hands out a reset waiter box for one in-flight command.
+func (k *kernelQueue) getWaiter() *waiter {
+	if n := len(k.wFree); n > 0 {
+		w := k.wFree[n-1]
+		k.wFree[n-1] = nil
+		k.wFree = k.wFree[:n-1]
+		*w = waiter{}
+		return w
+	}
+	return &waiter{}
+}
+
+// putWaiter retires a waiter box once its command completed.
+func (k *kernelQueue) putWaiter(w *waiter) { k.wFree = append(k.wFree, w) }
 
 func (k *kernelQueue) allocCID() uint16 {
 	for {
@@ -241,10 +279,11 @@ func (k *kernelQueue) submitAndWait(p *sim.Proc, e nvme.SQE) nvme.Status {
 		// SQE.Span explicitly because it submits from a helper proc.
 		e.Span = trace.SpanFrom(p)
 	}
-	w := &waiter{}
+	w := k.getWaiter()
 	k.waiters[cid] = w
 	if err := k.q.Submit(e); err != nil {
 		delete(k.waiters, cid)
+		k.putWaiter(w)
 		return nvme.StatusInternalError
 	}
 	for !w.done {
@@ -256,7 +295,9 @@ func (k *kernelQueue) submitAndWait(p *sim.Proc, e nvme.SQE) nvme.Status {
 	}
 	delete(k.waiters, cid)
 	e.Span.Complete(p.Now())
-	return w.status
+	st := w.status
+	k.putWaiter(w)
+	return st
 }
 
 // submitRetry is submitAndWait plus the block layer's bounded

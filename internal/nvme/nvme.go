@@ -13,6 +13,7 @@ package nvme
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -176,16 +177,57 @@ type QueuePair struct {
 	closed bool
 }
 
+// rings is a recycled SQ/CQ array pair. Machines boot (and discard)
+// queue pairs constantly under the experiment sweeps, and allocating —
+// and zeroing — a fresh 4096-entry kernel ring per machine was a top
+// boot cost. Rings recycle dirty: ring protocol only ever reads
+// entries after writing them (head/tail/count live on the QueuePair
+// and start fresh), so stale entries are unreachable.
+type rings struct {
+	sq []SQE
+	cq []CQE
+}
+
+// ringPools holds one free list per ring depth (depth -> *sync.Pool
+// of *rings); experiments run machines in parallel, hence sync.
+var ringPools sync.Map
+
+func getRings(depth int) *rings {
+	pv, _ := ringPools.Load(depth)
+	if pv == nil {
+		pv, _ = ringPools.LoadOrStore(depth, &sync.Pool{})
+	}
+	if v := pv.(*sync.Pool).Get(); v != nil {
+		return v.(*rings)
+	}
+	return &rings{sq: make([]SQE, depth), cq: make([]CQE, depth)}
+}
+
+// ReleaseRings returns the pair's ring arrays to the shared pool. Only
+// teardown paths that own the whole machine (core.System.Close) may
+// call it: any later use of the pair would alias a recycled ring.
+func (q *QueuePair) ReleaseRings() {
+	if q.sq == nil {
+		return
+	}
+	pv, _ := ringPools.Load(len(q.sq))
+	if pv != nil {
+		pv.(*sync.Pool).Put(&rings{sq: q.sq, cq: q.cq})
+	}
+	q.sq, q.cq = nil, nil
+}
+
 // NewQueuePair returns a queue pair with the given ring depth.
 func NewQueuePair(s *sim.Sim, id int, pasid uint32, depth int) *QueuePair {
 	if depth <= 0 {
 		panic("nvme: queue depth must be positive")
 	}
+	r := getRings(depth)
 	return &QueuePair{
 		ID:       id,
 		PASID:    pasid,
-		sq:       make([]SQE, depth),
-		cq:       make([]CQE, depth),
+		sq:       r.sq,
+		cq:       r.cq,
 		Doorbell: s.NewCond(),
 		CQReady:  s.NewCond(),
 	}

@@ -131,3 +131,41 @@ func TestStatusStrings(t *testing.T) {
 		t.Fatal("opcode string mismatch")
 	}
 }
+
+// TestRingPoolReuseNoAliasing pins the ring pool's safety contract:
+// a released pair's arrays may be recycled into a new pair, but the
+// new pair must present fresh queue state, and entries left over from
+// the previous tenant must never surface as commands.
+func TestRingPoolReuseNoAliasing(t *testing.T) {
+	q1 := newQP(8)
+	for i := 0; i < 5; i++ {
+		if err := q1.Submit(SQE{Opcode: OpRead, CID: uint16(100 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q1.PopSQE() // leave the ring dirty mid-stream
+	q1.ReleaseRings()
+
+	q2 := newQP(8) // recycles q1's arrays when the pool hands them back
+	if q2.SQLen() != 0 || q2.CQLen() != 0 {
+		t.Fatalf("recycled pair not empty: sq=%d cq=%d", q2.SQLen(), q2.CQLen())
+	}
+	if _, ok := q2.PopSQE(); ok {
+		t.Fatal("recycled pair popped a stale command")
+	}
+	// Fresh submissions must round-trip their own payloads.
+	for i := 0; i < 8; i++ {
+		if err := q2.Submit(SQE{Opcode: OpWrite, CID: uint16(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		e, ok := q2.PopSQE()
+		if !ok || e.CID != uint16(i) || e.Opcode != OpWrite {
+			t.Fatalf("pop %d: cid=%d op=%v ok=%v — stale entry surfaced", i, e.CID, e.Opcode, ok)
+		}
+	}
+	// Double release must be a no-op, not a double Put.
+	q2.ReleaseRings()
+	q2.ReleaseRings()
+}

@@ -17,6 +17,7 @@ package pagetable
 
 import (
 	"fmt"
+	"sync"
 )
 
 // Virtual-memory geometry.
@@ -28,6 +29,10 @@ const (
 	PUDSpan    = PMDSpan * 512   // 1 GiB
 	VABits     = 48              // canonical virtual address width
 	MaxVA      = uint64(1) << 47 // user half of the canonical space
+
+	// sectorsPerPage is the LBA stride between consecutive mapped
+	// pages (512-byte device sectors per 4 KiB page), used by SetRun.
+	sectorsPerPage = PageSize / 512
 )
 
 // Entry is a page-table entry. Bit layout (simulation-defined but in
@@ -96,8 +101,52 @@ func (e Entry) DevID() uint8 { return uint8((e & devIDMask) >> devIDShift) }
 // the corresponding child pointers (the simulation's stand-in for the
 // physical frames the entries would reference).
 type Node struct {
-	entries  [EntriesPer]Entry
-	children [EntriesPer]*Node
+	entries [EntriesPer]Entry
+	// children is allocated lazily: leaf nodes (file-table fragments,
+	// PT leaves) never populate it, keeping them pointer-free — the
+	// garbage collector skips their 4 KiB entry arrays entirely.
+	children *[EntriesPer]*Node
+}
+
+// child returns child i, or nil when no child array exists.
+func (n *Node) child(i int) *Node {
+	if n.children == nil {
+		return nil
+	}
+	return n.children[i]
+}
+
+// setChild stores child i, allocating the child array on first use.
+func (n *Node) setChild(i int, c *Node) {
+	if n.children == nil {
+		if c == nil {
+			return
+		}
+		n.children = new([EntriesPer]*Node)
+	}
+	n.children[i] = c
+}
+
+// nodePool recycles Nodes across the thousands of systems an
+// experiment sweep boots. Nodes are cleared on Put, so a pooled node
+// is indistinguishable from a fresh one and holds no references.
+var nodePool sync.Pool
+
+// getNode returns a zeroed node, recycled when one is free.
+func getNode() *Node {
+	if v := nodePool.Get(); v != nil {
+		return v.(*Node)
+	}
+	return &Node{}
+}
+
+// putNode clears n and returns it to the pool. Only whole-machine
+// teardown may call it (via FileTable.Release): any table still
+// holding n as a child would alias the next tenant.
+func putNode(n *Node) {
+	clear(n.entries[:])
+	n.children = nil
+	nodePool.Put(n)
 }
 
 // Entry returns entry i of the node.
@@ -138,11 +187,12 @@ func (t *Table) Walk(va uint64) WalkResult {
 	for lvl := 4; lvl >= 2; lvl-- {
 		i := index(va, lvl)
 		e := n.entries[i]
-		if !e.Present() || n.children[i] == nil {
+		c := n.child(i)
+		if !e.Present() || c == nil {
 			return WalkResult{Levels: 5 - lvl}
 		}
 		effRW = effRW && e.RW()
-		n = n.children[i]
+		n = c
 	}
 	leaf := n.entries[index(va, 1)]
 	if !leaf.Present() {
@@ -175,11 +225,12 @@ func (t *Table) LeafFor(va uint64) (leaf *Node, effRW bool, levels int, ok bool)
 	for lvl := 4; lvl >= 2; lvl-- {
 		i := index(va, lvl)
 		e := n.entries[i]
-		if !e.Present() || n.children[i] == nil {
+		c := n.child(i)
+		if !e.Present() || c == nil {
 			return nil, false, 5 - lvl, false
 		}
 		effRW = effRW && e.RW()
-		n = n.children[i]
+		n = c
 	}
 	return n, effRW, 4, true
 }
@@ -243,11 +294,13 @@ func (t *Table) ensurePath(va uint64) *Node {
 	n := t.root
 	for lvl := 4; lvl >= 2; lvl-- {
 		i := index(va, lvl)
-		if n.children[i] == nil {
-			n.children[i] = &Node{}
+		c := n.child(i)
+		if c == nil {
+			c = &Node{}
+			n.setChild(i, c)
 			n.entries[i] = FlagPresent | FlagRW | FlagUser
 		}
-		n = n.children[i]
+		n = c
 	}
 	return n
 }
@@ -265,10 +318,9 @@ func (t *Table) Unmap(va uint64) bool {
 	n := t.root
 	for lvl := 4; lvl >= 2; lvl-- {
 		i := index(va, lvl)
-		if n.children[i] == nil {
+		if n = n.child(i); n == nil {
 			return false
 		}
-		n = n.children[i]
 	}
 	i := index(va, 1)
 	had := n.entries[i].Present()
@@ -292,12 +344,14 @@ func (t *Table) AttachPMD(va uint64, frag *Node, rw bool) (created int, err erro
 	n := t.root
 	for lvl := 4; lvl >= 3; lvl-- {
 		i := index(va, lvl)
-		if n.children[i] == nil {
-			n.children[i] = &Node{}
+		c := n.child(i)
+		if c == nil {
+			c = &Node{}
+			n.setChild(i, c)
 			n.entries[i] = FlagPresent | FlagRW | FlagUser
 			created++
 		}
-		n = n.children[i]
+		n = c
 	}
 	i := index(va, 2)
 	e := FlagPresent | FlagUser
@@ -305,7 +359,7 @@ func (t *Table) AttachPMD(va uint64, frag *Node, rw bool) (created int, err erro
 		e |= FlagRW
 	}
 	n.entries[i] = e
-	n.children[i] = frag
+	n.setChild(i, frag)
 	return created, nil
 }
 
@@ -319,14 +373,13 @@ func (t *Table) DetachPMD(va uint64) bool {
 	n := t.root
 	for lvl := 4; lvl >= 3; lvl-- {
 		i := index(va, lvl)
-		if n.children[i] == nil {
+		if n = n.child(i); n == nil {
 			return false
 		}
-		n = n.children[i]
 	}
 	i := index(va, 2)
-	had := n.children[i] != nil
-	n.children[i] = nil
+	had := n.child(i) != nil
+	n.setChild(i, nil)
 	n.entries[i] = 0
 	return had
 }
@@ -340,6 +393,9 @@ type FileTable struct {
 	DevID uint8
 	frags []*Node
 	pages int
+	// present counts mapped entries so PTEs() — charged on every
+	// cold fmap — does not rescan the whole table.
+	present int
 }
 
 // NewFileTable returns an empty file table for a file on devID.
@@ -363,11 +419,25 @@ func BuildFileTable(devID uint8, lbas []int64) *FileTable {
 
 func (ft *FileTable) growTo(pages int) {
 	for pages > len(ft.frags)*EntriesPer {
-		ft.frags = append(ft.frags, &Node{})
+		ft.frags = append(ft.frags, getNode())
 	}
 	if pages > ft.pages {
 		ft.pages = pages
 	}
+}
+
+// Release returns the table's fragments to the node pool. Only a
+// teardown path that owns the whole machine may call it: processes
+// with the file fmap()ed still hold the fragments as PMD children,
+// and any later walk would alias recycled nodes.
+func (ft *FileTable) Release() {
+	for i, f := range ft.frags {
+		putNode(f)
+		ft.frags[i] = nil
+	}
+	ft.frags = nil
+	ft.pages = 0
+	ft.present = 0
 }
 
 // SetPage maps file page idx to device sector lba, growing the
@@ -377,7 +447,47 @@ func (ft *FileTable) SetPage(idx int, lba int64) {
 		panic("pagetable: negative page index")
 	}
 	ft.growTo(idx + 1)
-	ft.frags[idx/EntriesPer].entries[idx%EntriesPer] = MakeFTE(lba, ft.DevID)
+	slot := &ft.frags[idx/EntriesPer].entries[idx%EntriesPer]
+	if !slot.Present() {
+		ft.present++
+	}
+	*slot = MakeFTE(lba, ft.DevID)
+}
+
+// SetRun maps n consecutive file pages starting at idx to consecutive
+// sectors starting at lba, the common shape of an extent. It fills
+// fragment arrays directly instead of re-deriving the fragment and
+// flag bits per page.
+func (ft *FileTable) SetRun(idx int, lba int64, n int) {
+	if n <= 0 {
+		return
+	}
+	if idx < 0 {
+		panic("pagetable: negative page index")
+	}
+	if lba < 0 || lba+int64(n)*sectorsPerPage > 1<<36 {
+		panic(fmt.Sprintf("pagetable: LBA run [%d,+%d) out of range", lba, n))
+	}
+	ft.growTo(idx + n)
+	fte := MakeFTE(lba, ft.DevID)
+	const step = Entry(sectorsPerPage) << payloadShift
+	for n > 0 {
+		frag := ft.frags[idx/EntriesPer]
+		i := idx % EntriesPer
+		run := EntriesPer - i
+		if run > n {
+			run = n
+		}
+		for k := i; k < i+run; k++ {
+			if !frag.entries[k].Present() {
+				ft.present++
+			}
+			frag.entries[k] = fte
+			fte += step
+		}
+		idx += run
+		n -= run
+	}
 }
 
 // ClearPage unmaps file page idx (block deallocated). Present pages
@@ -386,7 +496,11 @@ func (ft *FileTable) ClearPage(idx int) {
 	if idx < 0 || idx >= len(ft.frags)*EntriesPer {
 		return
 	}
-	ft.frags[idx/EntriesPer].entries[idx%EntriesPer] = 0
+	slot := &ft.frags[idx/EntriesPer].entries[idx%EntriesPer]
+	if slot.Present() {
+		ft.present--
+	}
+	*slot = 0
 }
 
 // Truncate drops all pages at or beyond page idx.
@@ -407,17 +521,7 @@ func (ft *FileTable) Fragments() []*Node { return ft.frags }
 
 // PTEs reports the count of present entries, for cold-fmap cost and
 // memory-overhead accounting (8 bytes per entry, paper §6.3).
-func (ft *FileTable) PTEs() int {
-	n := 0
-	for _, f := range ft.frags {
-		for _, e := range f.entries {
-			if e.Present() {
-				n++
-			}
-		}
-	}
-	return n
-}
+func (ft *FileTable) PTEs() int { return ft.present }
 
 // SpanBytes reports the virtual-region size needed to attach the
 // table: the file size rounded up to 2 MiB fragments.

@@ -9,6 +9,13 @@
 // proc executes at any moment, and control transfers between the
 // scheduler and procs through a strict channel handshake. Events that
 // fire at the same virtual instant run in the order they were posted.
+//
+// The dispatch hot path is built for throughput (DESIGN.md §12):
+// same-instant events go through a FIFO staging lane instead of the
+// heap (no sift traffic for wakeup storms), finished procs park their
+// goroutines in a free pool for reuse by later Spawns (no goroutine,
+// stack, or channel churn in steady state), and SpawnArg avoids the
+// per-spawn closure allocation on the device's per-command path.
 package sim
 
 import (
@@ -54,8 +61,11 @@ type event struct {
 	// p, when non-nil, marks a proc-resume event: the scheduler calls
 	// resume(p) directly instead of going through a closure. Sleeps and
 	// wakeups dominate the event stream, and allocating a closure for
-	// each showed up at the top of -benchmem profiles.
-	p *Proc
+	// each showed up at the top of -benchmem profiles. pgen snapshots
+	// p's generation at post time; a mismatch at dispatch marks a stale
+	// wakeup for a proc that finished and was recycled.
+	p    *Proc
+	pgen uint64
 }
 
 // eventHeap is a binary min-heap ordered by (at, seq). The sift
@@ -84,14 +94,17 @@ func (h *eventHeap) push(e event) {
 	}
 }
 
+// heapShrinkMin is the smallest backing array the pop-time shrink
+// policy bothers reallocating; below it the memory is noise.
+const heapShrinkMin = 256
+
 func (h *eventHeap) pop() event {
 	q := *h
 	top := q[0]
 	n := len(q) - 1
 	q[0] = q[n]
-	q[n] = event{} // release the closure
+	q[n] = event{} // nil out fn and p so dead closures/procs aren't pinned
 	q = q[:n]
-	*h = q
 	for i := 0; ; {
 		left, right := 2*i+1, 2*i+2
 		smallest := i
@@ -107,6 +120,17 @@ func (h *eventHeap) pop() event {
 		q[i], q[smallest] = q[smallest], q[i]
 		i = smallest
 	}
+	// Shrink policy: long-running scenarios spike the heap (a burst of
+	// tenants, a broadcast storm) and then idle; without a shrink the
+	// oversized backing array — and the stale events beyond len() that
+	// append will not overwrite until the next spike — lives for the
+	// rest of the simulation.
+	if cap(q) >= heapShrinkMin && n <= cap(q)/4 {
+		nq := make(eventHeap, n, cap(q)/2)
+		copy(nq, q)
+		q = nq
+	}
+	*h = q
 	return top
 }
 
@@ -139,17 +163,36 @@ const (
 	procRunning
 	procParked
 	procDone
+	// procIdle marks a finished proc whose goroutine is parked in the
+	// spawn pool, waiting for a later Spawn to reuse it.
+	procIdle
 )
 
 // Proc is a simulated thread of execution. A Proc may only call
 // blocking methods (Sleep, Cond.Wait, Resource.Acquire, ...) from its
 // own goroutine while it is the running proc.
+//
+// Proc objects (and their goroutines) are recycled: when fn returns,
+// the proc parks in the owning Sim's free pool and a later Spawn may
+// hand it a new identity. ID() distinguishes logical spawns across
+// reuse — two spawns never share an ID even when they share a *Proc.
 type Proc struct {
 	sim   *Sim
 	name  string
 	wake  chan struct{}
 	state procState
 	trace any
+
+	// id is unique per logical spawn; gen increments on every recycle
+	// so resume events posted for a previous life are dropped.
+	id  uint64
+	gen uint64
+
+	// Exactly one of fn / fnArg is set per assignment. fnArg+arg is the
+	// closure-free spawn variant (SpawnArg).
+	fn    func(p *Proc)
+	fnArg func(p *Proc, arg any)
+	arg   any
 }
 
 // Name returns the name given at spawn time.
@@ -160,6 +203,12 @@ func (p *Proc) Sim() *Sim { return p.sim }
 
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.sim.now }
+
+// ID returns the proc's logical spawn identity: unique per Spawn for
+// the lifetime of the Sim, even when the underlying Proc object is
+// recycled. Layers that intern per-thread state (the trace plane's
+// tids) key on it instead of the pointer.
+func (p *Proc) ID() uint64 { return p.id }
 
 // SetTraceCtx attaches an opaque per-request trace context to the
 // proc (the observability plane's span, threaded through layers that
@@ -176,11 +225,34 @@ type killed struct{}
 // Sim is a discrete-event simulation instance. The zero value is not
 // usable; construct with New.
 type Sim struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
-	yield   chan struct{}
-	procs   []*Proc
+	now    Time
+	seq    uint64
+	events eventHeap
+
+	// lane is the same-instant staging FIFO in front of the heap:
+	// events posted at exactly the current virtual time append here in
+	// O(1) and pop in O(1), skipping both heap sifts. Because every
+	// lane entry carries at == now and a seq greater than anything
+	// posted before it, draining the lane front against the heap top by
+	// (at, seq) reproduces exact posted-order FIFO semantics — the
+	// property test in batch_test.go pins this against a heap-only
+	// reference scheduler. The lane empties before the clock advances
+	// (nothing can sort before an at == now entry), so entries never go
+	// stale. laneOff is the pop cursor; the slice recycles in place.
+	lane    []event
+	laneOff int
+	// noLane forces every post through the heap — the one-at-a-time
+	// reference dispatcher the equivalence test compares against.
+	noLane bool
+
+	yield chan struct{}
+	procs []*Proc
+	// free holds finished procs whose goroutines are parked awaiting
+	// reuse by a later Spawn.
+	free       []*Proc
+	nextProcID uint64
+	processed  uint64
+
 	killing bool
 	running bool
 }
@@ -193,6 +265,21 @@ func New() *Sim {
 // Now returns the current virtual time.
 func (s *Sim) Now() Time { return s.now }
 
+// Processed reports the number of events dispatched so far — the
+// simulator's unit of work, used by the throughput benchmarks to
+// report simulated events per wall second.
+func (s *Sim) Processed() uint64 { return s.processed }
+
+// enqueue routes one event to the staging lane (same-instant posts)
+// or the heap (future posts).
+func (s *Sim) enqueue(e event) {
+	if e.at == s.now && !s.noLane {
+		s.lane = append(s.lane, e)
+		return
+	}
+	s.events.push(e)
+}
+
 // post schedules fn to run at time at. fn executes on the scheduler
 // goroutine; it must not block.
 func (s *Sim) post(at Time, fn func()) {
@@ -200,7 +287,7 @@ func (s *Sim) post(at Time, fn func()) {
 		panic(fmt.Sprintf("sim: event posted in the past (%v < %v)", at, s.now))
 	}
 	s.seq++
-	s.events.push(event{at: at, seq: s.seq, fn: fn})
+	s.enqueue(event{at: at, seq: s.seq, fn: fn})
 }
 
 // postResume schedules p to be resumed at time at without allocating a
@@ -211,7 +298,54 @@ func (s *Sim) postResume(at Time, p *Proc) {
 		panic(fmt.Sprintf("sim: event posted in the past (%v < %v)", at, s.now))
 	}
 	s.seq++
-	s.events.push(event{at: at, seq: s.seq, p: p})
+	s.enqueue(event{at: at, seq: s.seq, p: p, pgen: p.gen})
+}
+
+// pending reports whether any event is queued in the lane or the heap.
+func (s *Sim) pending() bool {
+	return s.laneOff < len(s.lane) || len(s.events) > 0
+}
+
+// peekAt returns the timestamp of the earliest queued event; pending
+// must be true.
+func (s *Sim) peekAt() Time {
+	if s.laneOff < len(s.lane) {
+		return s.lane[s.laneOff].at // == s.now, earliest by construction
+	}
+	return s.events[0].at
+}
+
+// next pops the earliest event by (at, seq), merging the staging lane
+// with the heap; pending must be true.
+func (s *Sim) next() event {
+	if s.laneOff < len(s.lane) {
+		le := s.lane[s.laneOff]
+		// Lane entries hold at == now; only a heap entry at the same
+		// instant with an older seq may precede them.
+		if len(s.events) == 0 || le.at < s.events[0].at ||
+			(le.at == s.events[0].at && le.seq < s.events[0].seq) {
+			s.lane[s.laneOff] = event{} // release the closure/proc ref
+			s.laneOff++
+			if s.laneOff == len(s.lane) {
+				s.lane = s.lane[:0]
+				s.laneOff = 0
+			}
+			return le
+		}
+	}
+	return s.events.pop()
+}
+
+// dispatch runs one event.
+func (s *Sim) dispatch(e event) {
+	s.processed++
+	if e.p != nil {
+		if e.pgen == e.p.gen {
+			s.resume(e.p)
+		}
+		return
+	}
+	e.fn()
 }
 
 // At schedules fn to run at absolute virtual time at. fn runs in
@@ -230,27 +364,95 @@ func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
 
 // SpawnAt creates a proc that begins executing fn at virtual time at.
 func (s *Sim) SpawnAt(at Time, name string, fn func(p *Proc)) *Proc {
-	p := &Proc{sim: s, name: name, wake: make(chan struct{})}
-	s.procs = append(s.procs, p)
-	go func() {
+	p := s.allocProc(at, name)
+	p.fn = fn
+	s.postResume(at, p)
+	return p
+}
+
+// SpawnArg is Spawn for hot paths: fn is a shared, pre-built function
+// value and arg carries the per-spawn state, so spawning allocates no
+// closure. Pointer-typed args avoid the interface boxing allocation.
+func (s *Sim) SpawnArg(name string, fn func(p *Proc, arg any), arg any) *Proc {
+	p := s.allocProc(s.now, name)
+	p.fnArg = fn
+	p.arg = arg
+	s.postResume(s.now, p)
+	return p
+}
+
+// allocProc hands out a proc for a new logical spawn, recycling a
+// finished proc's object and goroutine when one is free.
+func (s *Sim) allocProc(at Time, name string) *Proc {
+	var p *Proc
+	if n := len(s.free); n > 0 {
+		p = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		p.name = name
+		p.state = procNew
+	} else {
+		p = &Proc{sim: s, name: name, wake: make(chan struct{}), state: procNew}
+		s.procs = append(s.procs, p)
+		go s.procLoop(p)
+	}
+	s.nextProcID++
+	p.id = s.nextProcID
+	return p
+}
+
+// procLoop is the body of every proc goroutine: serve one assignment,
+// then park in the free pool until the next Spawn reuses the proc (or
+// Shutdown unwinds it).
+func (s *Sim) procLoop(p *Proc) {
+	for {
 		<-p.wake
 		if s.killing {
 			s.finish(p)
 			return
 		}
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(killed); !ok {
-					panic(r)
-				}
+		if !s.runAssignment(p) {
+			return
+		}
+	}
+}
+
+// runAssignment executes p's current fn, reporting whether the
+// goroutine should keep serving recycled assignments.
+func (s *Sim) runAssignment(p *Proc) (again bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killed); !ok {
+				panic(r)
 			}
+			s.finish(p) // unwound by Shutdown mid-run
+			return
+		}
+		if s.killing {
 			s.finish(p)
-		}()
-		p.state = procRunning
-		fn(p)
+			return
+		}
+		// Normal completion: recycle before yielding so the scheduler
+		// may hand the proc straight to the next Spawn. The goroutine
+		// re-parks on p.wake, which the strict handshake guarantees it
+		// reaches before any wake is sent.
+		p.state = procIdle
+		p.gen++
+		p.fn = nil
+		p.fnArg = nil
+		p.arg = nil
+		p.trace = nil
+		s.free = append(s.free, p)
+		again = true
+		s.yield <- struct{}{}
 	}()
-	s.postResume(at, p)
-	return p
+	p.state = procRunning
+	if p.fnArg != nil {
+		p.fnArg(p, p.arg)
+	} else {
+		p.fn(p)
+	}
+	return
 }
 
 // finish marks p done and returns control to the scheduler.
@@ -262,7 +464,7 @@ func (s *Sim) finish(p *Proc) {
 // resume hands control to p and blocks the scheduler until p parks or
 // finishes. It must only run on the scheduler goroutine.
 func (s *Sim) resume(p *Proc) {
-	if p.state == procDone {
+	if p.state == procDone || p.state == procIdle {
 		return
 	}
 	p.state = procRunning
@@ -311,14 +513,10 @@ func (s *Sim) Run() {
 	}
 	s.running = true
 	defer func() { s.running = false }()
-	for len(s.events) > 0 {
-		e := s.events.pop()
+	for s.pending() {
+		e := s.next()
 		s.now = e.at
-		if e.p != nil {
-			s.resume(e.p)
-		} else {
-			e.fn()
-		}
+		s.dispatch(e)
 	}
 }
 
@@ -331,14 +529,10 @@ func (s *Sim) RunUntil(t Time) int {
 	s.running = true
 	defer func() { s.running = false }()
 	n := 0
-	for len(s.events) > 0 && s.events[0].at <= t {
-		e := s.events.pop()
+	for s.pending() && s.peekAt() <= t {
+		e := s.next()
 		s.now = e.at
-		if e.p != nil {
-			s.resume(e.p)
-		} else {
-			e.fn()
-		}
+		s.dispatch(e)
 		n++
 	}
 	if s.now < t {
@@ -347,9 +541,9 @@ func (s *Sim) RunUntil(t Time) int {
 	return n
 }
 
-// Shutdown unwinds every parked or not-yet-started proc so their
-// goroutines exit. Pending events are discarded. The simulation must
-// not be used afterwards. Procs must not park inside deferred
+// Shutdown unwinds every parked, idle, or not-yet-started proc so
+// their goroutines exit. Pending events are discarded. The simulation
+// must not be used afterwards. Procs must not park inside deferred
 // functions, or Shutdown will deadlock.
 func (s *Sim) Shutdown() {
 	s.killing = true
@@ -357,19 +551,26 @@ func (s *Sim) Shutdown() {
 		releaseEventHeap(s.events)
 		s.events = nil
 	}
+	for i := range s.lane {
+		s.lane[i] = event{}
+	}
+	s.lane = s.lane[:0]
+	s.laneOff = 0
+	s.free = nil
 	for _, p := range s.procs {
-		if p.state == procParked || p.state == procNew {
+		if p.state == procParked || p.state == procNew || p.state == procIdle {
 			p.wake <- struct{}{}
 			<-s.yield
 		}
 	}
 }
 
-// Live reports the number of procs that have not finished.
+// Live reports the number of procs that have not finished (idle pooled
+// procs are not live: their assignment completed).
 func (s *Sim) Live() int {
 	n := 0
 	for _, p := range s.procs {
-		if p.state != procDone {
+		if p.state != procDone && p.state != procIdle {
 			n++
 		}
 	}

@@ -56,6 +56,20 @@ type Driver struct {
 
 	files map[string]Region
 	next  int64 // allocation cursor in sectors
+
+	// dmaBufs tracks queue DMA buffers for recycling at teardown
+	// (core.System.Close → ReleaseResources).
+	dmaBufs [][]byte
+}
+
+// ReleaseResources returns the driver's DMA buffers to the shared
+// pool. Only a teardown path that owns the whole machine may call it.
+func (d *Driver) ReleaseResources() {
+	for i, b := range d.dmaBufs {
+		device.PutDMABuf(b)
+		d.dmaBufs[i] = nil
+	}
+	d.dmaBufs = nil
 }
 
 // Claim takes exclusive ownership of the device. It fails if any
@@ -105,7 +119,9 @@ func (d *Driver) NewQueue(p *sim.Proc) (*Queue, error) {
 		return nil, err
 	}
 	p.Sleep(2 * sim.Microsecond) // queue mapping setup
-	return &Queue{d: d, q: q, dma: make([]byte, d.cfg.DMABufBytes)}, nil
+	dma := device.GetDMABuf(d.cfg.DMABufBytes)
+	d.dmaBufs = append(d.dmaBufs, dma)
+	return &Queue{d: d, q: q, dma: dma}, nil
 }
 
 func (d *Driver) copyCost(n int) sim.Time {

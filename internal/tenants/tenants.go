@@ -177,12 +177,20 @@ func interarrival(rng *rand.Rand, t *Tenant) sim.Time {
 // Run executes a scenario on one freshly booted system and returns
 // per-tenant results in tenant order.
 func Run(seed int64, sc Scenario) ([]*Result, error) {
+	results, _, err := RunCounted(seed, sc)
+	return results, err
+}
+
+// RunCounted is Run, additionally reporting the number of simulator
+// events the scenario dispatched — the numerator of the throughput
+// suite's events/sec metric (BenchmarkSimThroughputTenantStorm).
+func RunCounted(seed int64, sc Scenario) ([]*Result, uint64, error) {
 	if len(sc.Tenants) == 0 {
-		return nil, fmt.Errorf("tenants: scenario %q has no tenants", sc.Name)
+		return nil, 0, fmt.Errorf("tenants: scenario %q has no tenants", sc.Name)
 	}
 	for i := range sc.Tenants {
 		if err := sc.Tenants[i].validate(); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 	}
 	capacity := sc.Capacity
@@ -196,9 +204,9 @@ func Run(seed int64, sc Scenario) ([]*Result, error) {
 	}
 	sys, err := core.New(capacity)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	defer sys.Sim.Shutdown()
+	defer sys.Close()
 	sys.M.Dev.SetArbiter(device.ArbiterByName(sc.Arbiter))
 
 	results := make([]*Result, len(sc.Tenants))
@@ -241,14 +249,14 @@ func Run(seed int64, sc Scenario) ([]*Result, error) {
 	})
 	sys.Sim.Run()
 	if runErr != nil {
-		return nil, runErr
+		return nil, 0, runErr
 	}
 	for ti := range sc.Tenants {
 		if sc.Tenants[ti].Engine == core.EngineBypassD {
 			results[ti].Lib = sys.Lib(procs[ti]).Stats
 		}
 	}
-	return results, nil
+	return results, sys.Sim.Processed(), nil
 }
 
 func tenantPath(ti int) string { return fmt.Sprintf("/tenants/t%d", ti) }

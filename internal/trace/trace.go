@@ -93,10 +93,15 @@ type Tracer struct {
 	max      int
 	events   []Span
 	dropped  int64
-	tids     map[*sim.Proc]int
+	tids     map[uint64]int
 	tidNames []string
 	attr     map[string]*Attribution
 	em       map[string]*engineMetrics
+
+	// spanFree recycles finished IOSpans: Finish is each span's unique
+	// release point, so StartIO can hand the object to the next op
+	// without allocating. Single-goroutine like the rest of the tracer.
+	spanFree []*IOSpan
 }
 
 // NewTracer returns a standalone tracer (not registered with the
@@ -106,7 +111,7 @@ func NewTracer(label string) *Tracer {
 	return &Tracer{
 		label: label,
 		max:   defaultMaxEvents,
-		tids:  make(map[*sim.Proc]int),
+		tids:  make(map[uint64]int),
 		attr:  make(map[string]*Attribution),
 		em:    make(map[string]*engineMetrics),
 	}
@@ -137,13 +142,16 @@ func (t *Tracer) Dropped() int64 {
 }
 
 // tid interns p into a stable per-tracer thread id (1-based, in order
-// of first use — deterministic because procs run cooperatively).
+// of first use — deterministic because procs run cooperatively). The
+// key is the proc's logical spawn ID, not the pointer: the scheduler
+// recycles Proc objects across spawns, and pointer identity would
+// merge unrelated threads.
 func (t *Tracer) tid(p *sim.Proc) int {
-	if id, ok := t.tids[p]; ok {
+	if id, ok := t.tids[p.ID()]; ok {
 		return id
 	}
 	id := len(t.tidNames) + 1
-	t.tids[p] = id
+	t.tids[p.ID()] = id
 	t.tidNames = append(t.tidNames, p.Name())
 	return id
 }
@@ -229,12 +237,21 @@ type IOSpan struct {
 	complete   sim.Time
 }
 
-// StartIO opens an I/O root span for one application-visible op.
+// StartIO opens an I/O root span for one application-visible op,
+// recycling a finished span when one is free.
 func (t *Tracer) StartIO(p *sim.Proc, engine, op string) *IOSpan {
 	if t == nil {
 		return nil
 	}
-	return &IOSpan{
+	var sp *IOSpan
+	if n := len(t.spanFree); n > 0 {
+		sp = t.spanFree[n-1]
+		t.spanFree[n-1] = nil
+		t.spanFree = t.spanFree[:n-1]
+	} else {
+		sp = &IOSpan{}
+	}
+	*sp = IOSpan{
 		tr:         t,
 		engine:     engine,
 		op:         op,
@@ -242,6 +259,7 @@ func (t *Tracer) StartIO(p *sim.Proc, engine, op string) *IOSpan {
 		start:      p.Now(),
 		serviceEnd: -1,
 	}
+	return sp
 }
 
 // SpanFrom returns the IOSpan carried in p's trace slot, if any.
@@ -295,7 +313,9 @@ func (sp *IOSpan) Complete(now sim.Time) {
 // phases) becomes submit time, the span and its per-phase child events
 // are recorded, and the engine's attribution and metrics are fed.
 func (sp *IOSpan) Finish(now sim.Time) {
-	if sp == nil {
+	if sp == nil || sp.tr == nil {
+		// nil span (tracing off) or a double Finish on a recycled span:
+		// releasing twice would alias two in-flight ops on one object.
 		return
 	}
 	t := sp.tr
@@ -339,6 +359,9 @@ func (sp *IOSpan) Finish(now sim.Time) {
 			c.Add(int64(phases[i]))
 		}
 	}
+
+	*sp = IOSpan{} // tr=nil marks the span released
+	t.spanFree = append(t.spanFree, sp)
 }
 
 // --- process-global activation and collection -----------------------

@@ -203,3 +203,75 @@ func TestJSONStringEscaping(t *testing.T) {
 		t.Fatalf("escaped = %s", got)
 	}
 }
+
+// TestSpanPoolReuseNoAliasing pins the span free list's contract:
+// Finish is a span's unique release point, a double Finish on a
+// recycled pointer must not corrupt the next tenant, and a recycled
+// span must carry none of its previous life's phase marks.
+func TestSpanPoolReuseNoAliasing(t *testing.T) {
+	tr := NewTracer("pool")
+	s := sim.New()
+	s.Spawn("app", func(p *sim.Proc) {
+		sp1 := tr.StartIO(p, "eng", "read")
+		sp1.ServiceStart(p.Now())
+		p.Sleep(100)
+		sp1.ServiceEnd(p.Now(), 80)
+		sp1.Finish(p.Now())
+
+		// sp1 is now free; the next StartIO recycles it.
+		sp2 := tr.StartIO(p, "eng", "write")
+		if sp2 != sp1 {
+			t.Error("span not recycled through the free list")
+		}
+		// A stale Finish on the old pointer must be inert: sp1 == sp2,
+		// and finishing the in-flight span twice would double-record.
+		// Finish emits one root (IsIO) span plus per-phase child
+		// events, so count roots only.
+		roots := func() int {
+			n := 0
+			for _, e := range tr.Events() {
+				if e.IsIO {
+					n++
+				}
+			}
+			return n
+		}
+		before := roots()
+		p.Sleep(50)
+		sp2.Finish(p.Now())
+		if got := roots(); got != before+1 {
+			t.Errorf("first Finish recorded %d root spans, want 1", got-before)
+		}
+		sp1.Finish(p.Now()) // double release via the aliased pointer
+		if got := roots(); got != before+1 {
+			t.Errorf("double Finish recorded an extra root span")
+		}
+
+		// The recycled span's next life starts clean: no leftover
+		// phase marks from the previous tenant.
+		sp3 := tr.StartIO(p, "eng", "fsync")
+		start := p.Now()
+		p.Sleep(10)
+		sp3.Finish(p.Now())
+		var last Span
+		for _, e := range tr.Events() {
+			if e.IsIO {
+				last = e
+			}
+		}
+		if last.Name != "fsync" || last.Start != start || last.Dur != 10 {
+			t.Errorf("recycled span carried stale state: %+v", last)
+		}
+		for i, ph := range [4]string{"submit", "translate", "media", "complete"} {
+			want := sim.Time(0)
+			if i == 0 {
+				want = 10 // residual: whole span is submit time
+			}
+			if last.Phases[i] != want {
+				t.Errorf("phase %s = %v, want %v (stale mark leaked)", ph, last.Phases[i], want)
+			}
+		}
+	})
+	s.Run()
+	s.Shutdown()
+}
