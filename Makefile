@@ -1,8 +1,8 @@
 GO ?= go
 FUZZTIME ?= 10s
-FUZZ_TARGETS := FuzzExtentTree FuzzRename
+FUZZ_TARGETS := ./internal/ext4:FuzzExtentTree ./internal/ext4:FuzzRename ./internal/experiments:FuzzReproSpec
 
-.PHONY: all build test race vet bench bench-json bench-check profile fuzz check trace-smoke clean
+.PHONY: all build test race vet bench bench-json bench-check profile fuzz check trace-smoke repro-smoke clean
 
 # The benchmarks the committed snapshot and the throughput gate track:
 # the Fig. 6/9 harnesses, the headline 4 KiB read (steady-state and
@@ -64,11 +64,13 @@ profile:
 	@echo "wrote cpu.prof mem.prof — inspect with: go tool pprof cpu.prof"
 
 # fuzz runs each native fuzz target for FUZZTIME (go test -fuzz takes
-# exactly one target per invocation, hence the loop).
+# exactly one target per invocation, hence the loop). Targets are
+# pkg:FuzzName pairs.
 fuzz:
 	@set -e; for t in $(FUZZ_TARGETS); do \
-		echo "== fuzzing $$t ($(FUZZTIME))"; \
-		$(GO) test ./internal/ext4 -run $$t -fuzz "^$$t$$" -fuzztime $(FUZZTIME); \
+		pkg=$${t%%:*}; name=$${t##*:}; \
+		echo "== fuzzing $$pkg $$name ($(FUZZTIME))"; \
+		$(GO) test $$pkg -run $$name -fuzz "^$$name$$" -fuzztime $(FUZZTIME); \
 	done
 
 # trace-smoke runs one experiment with the trace plane armed and
@@ -82,9 +84,24 @@ trace-smoke:
 		grep -q '== metrics ==' $$tmp/out.txt; \
 		$$tmp/tracecheck -min 100 $$tmp/trace.json
 
-# check is the default gate: build, vet, full tests, the race
-# detector over the whole tree, and the allocation-budget gate.
-check: build vet test race bench-check
+# repro-smoke round-trips the anomaly-repro tool on the T7 cell the
+# arbiter gate pins: the same spec must replay byte-identically at
+# -j1 and -j2, and the replayed row must be the wrr victim cell.
+repro-smoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+		$(GO) build -o $$tmp/repro ./cmd/bypassd-repro; \
+		spec='T7:hogs=8,victim=bypassd,arbiter=wrr@seed=1'; \
+		$$tmp/repro -j 2 "$$spec" > $$tmp/a.txt 2>/dev/null; \
+		$$tmp/repro -j 1 "$$spec" > $$tmp/b.txt 2>/dev/null; \
+		cmp $$tmp/a.txt $$tmp/b.txt; \
+		grep -q 'wrr' $$tmp/a.txt; \
+		grep -q 'derived seed: 1' $$tmp/a.txt; \
+		echo "repro-smoke ok"
+
+# check is the default gate: build, vet, full tests (including the
+# statistical tail-claim gates), the race detector over the whole
+# tree, the allocation-budget gate, and the repro-tool round trip.
+check: build vet test race bench-check repro-smoke
 
 clean:
 	$(GO) clean ./...

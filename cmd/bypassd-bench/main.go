@@ -3,6 +3,7 @@
 //	bypassd-bench                 # run everything, quick scale
 //	bypassd-bench -full           # paper-scale sweeps (minutes)
 //	bypassd-bench -run F6,F9      # selected experiments
+//	bypassd-bench -trials 5       # 5 seeded trials per cell: mean ± 95% CI columns
 //	bypassd-bench -j 8            # run experiments and sweep cells in parallel
 //	bypassd-bench -list           # show the experiment index
 //	bypassd-bench -o results.md   # also write a markdown report
@@ -49,6 +50,7 @@ type jsonResult struct {
 type jsonRun struct {
 	Mode        string            `json:"mode"`
 	Seed        int64             `json:"seed"`
+	Trials      int               `json:"trials,omitempty"`
 	Parallelism int               `json:"parallelism"`
 	GOMAXPROCS  int               `json:"gomaxprocs"`
 	TotalWallMS float64           `json:"total_wall_ms"`
@@ -113,6 +115,7 @@ func run() int {
 		full     = flag.Bool("full", false, "paper-scale sweeps instead of quick mode")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		seed     = flag.Int64("seed", 1, "workload seed")
+		trials   = flag.Int("trials", 1, "independent seeded trials per sweep cell; >1 adds mean±95% CI and spread columns")
 		parallel = flag.Int("j", 1, "worker count for experiments and sweep cells; 0 = GOMAXPROCS")
 		out      = flag.String("o", "", "also write the combined report to this file")
 		jsonOut  = flag.String("json", "", "write machine-readable results to this file")
@@ -211,10 +214,14 @@ func run() int {
 		metrics.Activate()
 	}
 
-	opts := experiments.Options{Quick: !*full, Seed: *seed, Parallelism: workers, Faults: *faultsP}
+	opts := experiments.Options{Quick: !*full, Seed: *seed, Parallelism: workers, Faults: *faultsP, Trials: *trials}
 	mode := "quick"
 	if *full {
 		mode = "full (paper-scale)"
+	}
+	if *trials > 1 {
+		fmt.Fprintf(os.Stderr, "== %d trials per cell (trial k at seed %d+k-derived); tables report mean ± 95%% CI\n",
+			*trials, *seed)
 	}
 	if *faultsP != "" {
 		fmt.Fprintf(os.Stderr, "== fault profile %q armed (seed %d)\n", *faultsP, *seed)
@@ -297,6 +304,7 @@ func run() int {
 		run := jsonRun{
 			Mode:        mode,
 			Seed:        *seed,
+			Trials:      opts.Trials,
 			Parallelism: workers,
 			GOMAXPROCS:  runtime.GOMAXPROCS(0),
 			TotalWallMS: float64(total.Microseconds()) / 1000,

@@ -37,6 +37,16 @@ type Options struct {
 	// Injector streams are seeded from Seed, so a fixed (Seed, Faults)
 	// pair replays byte-for-byte at any Parallelism.
 	Faults string
+	// Trials is the number of independent seeded repetitions each
+	// sweep cell runs. <= 1 runs the single historical trial and keeps
+	// every table byte-identical to earlier releases. With N > 1, the
+	// trial-aware harnesses (T7, T8, F6, F9) run each cell once per
+	// seed TrialSeed(k) — derived from Seed and the trial index k,
+	// never from execution order — and report cross-seed statistics:
+	// mean ± 95% Student-t confidence intervals and p99/p999 spread
+	// columns. Trials share the Parallelism worker pool with sweep
+	// cells, and reports stay byte-identical at any -j.
+	Trials int
 }
 
 // Report is an experiment's output.

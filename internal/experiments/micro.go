@@ -59,10 +59,13 @@ func runF6(o Options) (*Report, error) {
 			}
 		}
 	}
-	type point struct{ lat, bw float64 }
-	points, err := sweepMap(o, len(cells), func(i int) (point, error) {
+	type point struct {
+		lat, bw float64
+		s       stats.Summary
+	}
+	points, err := trialMap(o, len(cells), func(i int, seed int64) (point, error) {
 		c := cells[i]
-		res, err := fio.Run(fio.Spec{VBAFixedLatency: -1, Seed: o.Seed}, []fio.Group{{
+		res, err := fio.Run(fio.Spec{VBAFixedLatency: -1, Seed: seed}, []fio.Group{{
 			Name: "m", Engine: c.eng, Write: c.write, BS: c.bs, Threads: 1,
 			OpsPerThread: microOps(o.Quick), FileBytes: 64 << 20,
 		}})
@@ -74,7 +77,7 @@ func runF6(o Options) (*Report, error) {
 			return point{}, fmt.Errorf("F6 %s %s bs=%d: %w", kind, c.eng, c.bs, err)
 		}
 		r := res["m"]
-		return point{r.Lat.Mean().Micros(), r.Bandwidth() / 1e9}, nil
+		return point{r.Lat.Mean().Micros(), r.Bandwidth() / 1e9, r.Lat.Summarize()}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -89,15 +92,41 @@ func runF6(o Options) (*Report, error) {
 			if c.write {
 				kind = "write"
 			}
-			tb = stats.NewTable(fmt.Sprintf("Fig. 6: random %s, 1 thread, QD1", kind),
-				"block size", "engine", "latency (µs)", "bandwidth (GB/s)")
+			title := fmt.Sprintf("Fig. 6: random %s, 1 thread, QD1", kind)
+			if o.trials() == 1 {
+				tb = stats.NewTable(title,
+					"block size", "engine", "latency (µs)", "bandwidth (GB/s)")
+			} else {
+				tb = stats.NewTable(trialTitle(title, o),
+					"block size", "engine", "latency (µs)", "lat ci95",
+					"p99 (µs)", "p99 span (µs)", "bandwidth (GB/s)", "bw ci95")
+			}
 			rep.Tables = append(rep.Tables, tb)
 			lastWrite = c.write
 		}
-		tb.AddRow(sizeLabel(int64(c.bs)), string(c.eng), points[i].lat, points[i].bw)
+		if o.trials() == 1 {
+			p := points[i][0]
+			tb.AddRow(sizeLabel(int64(c.bs)), string(c.eng), p.lat, p.bw)
+			continue
+		}
+		summaries := make([]stats.Summary, len(points[i]))
+		var lat, bw stats.Welford
+		for t, p := range points[i] {
+			summaries[t] = p.s
+			lat.Add(p.lat)
+			bw.Add(p.bw)
+		}
+		ts := stats.AggregateSummaries(summaries)
+		tb.AddRow(sizeLabel(int64(c.bs)), string(c.eng),
+			lat.Mean(), ciCell(&lat, 1),
+			ts.P99.Mean()/1e3, spanCell(ts.P99Lo, ts.P99Hi, 1e3),
+			bw.Mean(), ciCell(&bw, 1))
 	}
 	rep.Notes = append(rep.Notes,
 		"expected shape: bypassd ≈ spdk (+~0.55µs reads, ~0 writes); ~30% below sync/libaio; io_uring between")
+	if o.trials() > 1 {
+		rep.Notes = append(rep.Notes, trialNote(o))
+	}
 	return rep, nil
 }
 
@@ -199,13 +228,21 @@ func runF8(o Options) (*Report, error) {
 		Notes: []string{"even at 1350ns, bypassd stays well above sync (paper Fig. 8)"}}, nil
 }
 
+// f9Ops is the per-thread op count of an F9 cell, shared with the
+// statistical gates.
+func f9Ops(quick bool) int {
+	if quick {
+		return 80
+	}
+	return 300
+}
+
 func runF9(o Options) (*Report, error) {
 	threads := []int{1, 2, 4, 8, 12, 16, 20, 24}
-	ops := 300
 	if o.Quick {
 		threads = []int{1, 8, 16}
-		ops = 80
 	}
+	ops := f9Ops(o.Quick)
 	type cell struct {
 		n   int
 		eng core.Engine
@@ -216,10 +253,13 @@ func runF9(o Options) (*Report, error) {
 			cells = append(cells, cell{n, e})
 		}
 	}
-	type point struct{ lat, iops float64 }
-	points, err := sweepMap(o, len(cells), func(i int) (point, error) {
+	type point struct {
+		lat, iops float64
+		s         stats.Summary
+	}
+	points, err := trialMap(o, len(cells), func(i int, seed int64) (point, error) {
 		c := cells[i]
-		res, err := fio.Run(fio.Spec{VBAFixedLatency: -1, Seed: o.Seed}, []fio.Group{{
+		res, err := fio.Run(fio.Spec{VBAFixedLatency: -1, Seed: seed}, []fio.Group{{
 			Name: "m", Engine: c.eng, BS: 4096, Threads: c.n,
 			OpsPerThread: ops, FileBytes: 16 << 20,
 		}})
@@ -227,19 +267,43 @@ func runF9(o Options) (*Report, error) {
 			return point{}, err
 		}
 		r := res["m"]
-		return point{r.Lat.Mean().Micros(), r.IOPS() / 1000}, nil
+		return point{r.Lat.Mean().Micros(), r.IOPS() / 1000, r.Lat.Summarize()}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	tb := stats.NewTable("Fig. 9: 4KB random read scaling",
-		"threads", "engine", "latency (µs)", "IOPS (K)")
+	notes := []string{
+		"bypassd/spdk flat until device saturation (~8 threads), kernel paths saturate ~12",
+		"io_uring collapses past 12 threads: SQPOLL needs a second core per thread",
+	}
+	const title = "Fig. 9: 4KB random read scaling"
+	if o.trials() == 1 {
+		tb := stats.NewTable(title,
+			"threads", "engine", "latency (µs)", "IOPS (K)")
+		for i, c := range cells {
+			p := points[i][0]
+			tb.AddRow(c.n, string(c.eng), p.lat, p.iops)
+		}
+		return &Report{ID: "F9", Title: "thread scaling", Tables: []*stats.Table{tb}, Notes: notes}, nil
+	}
+
+	tb := stats.NewTable(trialTitle(title, o),
+		"threads", "engine", "latency (µs)", "lat ci95",
+		"p99 (µs)", "p99 span (µs)", "IOPS (K)", "iops ci95")
 	for i, c := range cells {
-		tb.AddRow(c.n, string(c.eng), points[i].lat, points[i].iops)
+		summaries := make([]stats.Summary, len(points[i]))
+		var lat, iops stats.Welford
+		for t, p := range points[i] {
+			summaries[t] = p.s
+			lat.Add(p.lat)
+			iops.Add(p.iops)
+		}
+		ts := stats.AggregateSummaries(summaries)
+		tb.AddRow(c.n, string(c.eng),
+			lat.Mean(), ciCell(&lat, 1),
+			ts.P99.Mean()/1e3, spanCell(ts.P99Lo, ts.P99Hi, 1e3),
+			iops.Mean(), ciCell(&iops, 1))
 	}
 	return &Report{ID: "F9", Title: "thread scaling", Tables: []*stats.Table{tb},
-		Notes: []string{
-			"bypassd/spdk flat until device saturation (~8 threads), kernel paths saturate ~12",
-			"io_uring collapses past 12 threads: SQPOLL needs a second core per thread",
-		}}, nil
+		Notes: append(notes, trialNote(o))}, nil
 }

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// trialSeedStride spaces the derived per-trial seeds far apart so the
+// per-cell generators — which further mix the seed with sweep
+// coordinates and tenant indices — never see colliding streams
+// between neighboring trials.
+const trialSeedStride = 1_000_003
+
+// TrialSeed derives the workload seed for trial k of a run based at
+// Seed. Trial 0 is the base seed itself, so single-trial runs
+// reproduce the historical tables byte for byte; trial k steps by
+// k*trialSeedStride. The derivation depends only on (Seed, k) — never
+// on execution order — which is what keeps multi-trial reports
+// byte-identical at any Parallelism, and what lets the repro tool
+// replay exactly one flagged trial from its coordinates.
+func (o Options) TrialSeed(k int) int64 {
+	if k <= 0 {
+		return o.Seed
+	}
+	return o.Seed + int64(k)*trialSeedStride
+}
+
+// trials normalizes Options.Trials: anything below 2 is the single
+// historical trial.
+func (o Options) trials() int {
+	if o.Trials <= 1 {
+		return 1
+	}
+	return o.Trials
+}
+
+// trialMap fans cells × trials through the sweep runner: cell c's
+// trial k evaluates fn(c, o.TrialSeed(k)), and the returned per-cell
+// slices are trial-ordered. The fan-out is flattened into one
+// sweepMap call, so trials share the Parallelism worker pool with
+// sweep cells and inherit its determinism argument unchanged.
+func trialMap[T any](o Options, cells int, fn func(cell int, seed int64) (T, error)) ([][]T, error) {
+	n := o.trials()
+	flat, err := sweepMap(o, cells*n, func(i int) (T, error) {
+		return fn(i/n, o.TrialSeed(i%n))
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]T, cells)
+	for c := range out {
+		out[c] = flat[c*n : (c+1)*n]
+	}
+	return out, nil
+}
+
+// ciCell renders a Welford accumulator's 95% CI half-width as a
+// "±x" table cell, with values divided by scale (e.g. 1e3 for
+// ns → µs columns).
+func ciCell(w *stats.Welford, scale float64) string {
+	return "±" + stats.Fmt(w.CI95()/scale)
+}
+
+// spanCell renders a min..max spread cell, divided by scale.
+func spanCell(lo, hi sim.Time, scale float64) string {
+	return stats.Fmt(float64(lo)/scale) + ".." + stats.Fmt(float64(hi)/scale)
+}
+
+// trialTitle tags a multi-trial table title with the trial count.
+func trialTitle(title string, o Options) string {
+	return fmt.Sprintf("%s — %d trials, 95%% CI", title, o.trials())
+}
+
+// trialNote explains the seed-derivation invariant and the new
+// columns on every multi-trial table.
+func trialNote(o Options) string {
+	return fmt.Sprintf("each cell ran %d independent trials (trial k reruns the cell with seed %d+k·%d); "+
+		"value columns are cross-trial means, ± columns are two-sided 95%% Student-t confidence half-widths, "+
+		"span columns are the min..max observed across trials",
+		o.trials(), o.Seed, trialSeedStride)
+}

@@ -279,6 +279,93 @@ func TestPercentileMultiEdgeCases(t *testing.T) {
 	h.PercentileMulti(99, 50)
 }
 
+// TestHistogramMergeEquivalenceProperty: merging any partition of a
+// sample set must be indistinguishable from adding every sample to a
+// single histogram — Count, Mean, Min, Max, and every quantile of
+// PercentileMulti. Randomized over partition shapes that include
+// empty histograms (zero-sample parts) and single-bucket parts
+// (all-equal samples), the edge cases a merge that mishandles
+// min/max sentinels or bucket growth would get wrong.
+func TestHistogramMergeEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	qs := []float64{1, 25, 50, 90, 99, 99.9, 100}
+	for trial := 0; trial < 60; trial++ {
+		parts := 1 + rng.Intn(6)
+		hs := make([]*Histogram, parts)
+		for i := range hs {
+			hs[i] = NewHistogram()
+		}
+		whole := NewHistogram()
+		span := int64(1) << (1 + rng.Intn(40))
+		for i, h := range hs {
+			var n int
+			switch rng.Intn(4) {
+			case 0:
+				n = 0 // empty part
+			case 1:
+				n = 1
+			default:
+				n = rng.Intn(800)
+			}
+			if rng.Intn(5) == 0 {
+				// Single-bucket part: every sample identical.
+				v := sim.Time(rng.Int63n(span) + 1)
+				for j := 0; j < n; j++ {
+					h.Add(v)
+					whole.Add(v)
+				}
+				continue
+			}
+			_ = i
+			for j := 0; j < n; j++ {
+				v := sim.Time(rng.Int63n(span) + 1)
+				h.Add(v)
+				whole.Add(v)
+			}
+		}
+		merged := NewHistogram()
+		for _, h := range hs {
+			merged.Merge(h)
+		}
+		if merged.Count() != whole.Count() {
+			t.Fatalf("trial %d: count %d != %d", trial, merged.Count(), whole.Count())
+		}
+		if merged.Mean() != whole.Mean() {
+			t.Fatalf("trial %d: mean %v != %v", trial, merged.Mean(), whole.Mean())
+		}
+		if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+			t.Fatalf("trial %d: min/max %v/%v != %v/%v", trial,
+				merged.Min(), merged.Max(), whole.Min(), whole.Max())
+		}
+		mp := merged.PercentileMulti(qs...)
+		wp := whole.PercentileMulti(qs...)
+		for i, q := range qs {
+			if mp[i] != wp[i] {
+				t.Fatalf("trial %d: p%v = %v merged, %v whole", trial, q, mp[i], wp[i])
+			}
+		}
+	}
+}
+
+// TestHistogramMergeEmptyBothWays: merging an empty histogram in
+// either direction must not disturb min/max or the digest.
+func TestHistogramMergeEmptyBothWays(t *testing.T) {
+	full := NewHistogram()
+	for i := 1; i <= 10; i++ {
+		full.Add(sim.Time(i * 100))
+	}
+	before := full.Summarize()
+	full.Merge(NewHistogram())
+	if got := full.Summarize(); got != before {
+		t.Fatalf("merging empty changed digest: %+v -> %+v", before, got)
+	}
+	empty := NewHistogram()
+	empty.Merge(full)
+	if got := empty.Summarize(); got != before {
+		t.Fatalf("merge into empty digest = %+v, want %+v", got, before)
+	}
+}
+
 // TestSummarize: Summary mirrors the individual accessors.
 func TestSummarize(t *testing.T) {
 	h := NewHistogram()
