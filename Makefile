@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 FUZZ_TARGETS := ./internal/ext4:FuzzExtentTree ./internal/ext4:FuzzRename ./internal/experiments:FuzzReproSpec
 
-.PHONY: all build test race vet bench bench-json bench-check profile fuzz check trace-smoke repro-smoke clean
+.PHONY: all build test race vet bench bench-json bench-check profile fuzz check trace-smoke repro-smoke topology-smoke clean
 
 # The benchmarks the committed snapshot and the throughput gate track:
 # the Fig. 6/9 harnesses, the headline 4 KiB read (steady-state and
@@ -31,12 +31,14 @@ bench:
 
 # bench-json regenerates the committed benchmark snapshot: the
 # Fig. 6/9 harnesses, the headline 4 KiB read, and the throughput
-# family with its events/sec and wall-ns-per-virtual-ns metrics. Set
-# BASELINE=<old bench output file> to embed a before/after pair.
+# family (single-queue, traced, tenant storm, and the four-SSD
+# sharded core) with its events/sec and wall-ns-per-virtual-ns
+# metrics. Set BASELINE=<old bench output file> to embed a
+# before/after pair.
 bench-json:
 	$(GO) test -bench '$(GATE_BENCH)' -benchmem -run '^$$' . \
-		| $(GO) run ./cmd/benchjson $(if $(BASELINE),-baseline $(BASELINE)) -o BENCH_PR6.json
-	@echo wrote BENCH_PR6.json
+		| $(GO) run ./cmd/benchjson $(if $(BASELINE),-baseline $(BASELINE)) -o BENCH_PR8.json
+	@echo wrote BENCH_PR8.json
 
 # bench-check is the performance regression gate, in three parts:
 #  1. allocation budgets — a steady-state 4 KiB BypassD read must stay
@@ -44,7 +46,7 @@ bench-json:
 #     its budget (Test*AllocBudget), with every arbiter's steady-state
 #     grant allocation-free (TestArbiterZeroAllocHotPath);
 #  2. throughput — the gated benchmarks must stay within 25% of the
-#     committed BENCH_PR6.json ns/op (benchjson -check, which takes
+#     committed BENCH_PR8.json ns/op (benchjson -check, which takes
 #     the min over -count 3 repetitions; min-of-N plus the tolerance
 #     absorbs host noise, so only real regressions fail);
 # Opt-in pieces use BENCH_CHECK=1 so ordinary test runs never flake on
@@ -53,7 +55,7 @@ bench-check:
 	BENCH_CHECK=1 $(GO) test -run 'AllocBudget' -count=1 -v .
 	$(GO) test -run TestArbiterZeroAllocHotPath -count=1 -v ./internal/device
 	$(GO) test -bench '$(GATE_BENCH)' -benchmem -benchtime 5x -count 3 -run '^$$' . \
-		| $(GO) run ./cmd/benchjson -check BENCH_PR6.json
+		| $(GO) run ./cmd/benchjson -check BENCH_PR8.json
 
 # profile writes host CPU and allocation profiles of the Fig. 6
 # harness (the heaviest sweep) for `go tool pprof`. Separate runs:
@@ -98,10 +100,23 @@ repro-smoke:
 		grep -q 'derived seed: 1' $$tmp/a.txt; \
 		echo "repro-smoke ok"
 
+# topology-smoke boots the multi-SSD plane end to end: one quick
+# 2-device T9 cell through the CLI's -devices flag. It catches
+# topology boot regressions (DevID assignment, per-device mounts,
+# shard merge) that unit tests of the pieces can miss.
+topology-smoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+		$(GO) build -o $$tmp/bench ./cmd/bypassd-bench; \
+		$$tmp/bench -run T9 -devices 2 > $$tmp/out.txt; \
+		grep -q 'weak scaling across SSDs' $$tmp/out.txt; \
+		grep -Eq '^2 +4 ' $$tmp/out.txt; \
+		echo "topology-smoke ok"
+
 # check is the default gate: build, vet, full tests (including the
 # statistical tail-claim gates), the race detector over the whole
-# tree, the allocation-budget gate, and the repro-tool round trip.
-check: build vet test race bench-check repro-smoke
+# tree, the allocation-budget gate, the repro-tool round trip, and
+# the 2-device topology smoke.
+check: build vet test race bench-check repro-smoke topology-smoke
 
 clean:
 	$(GO) clean ./...

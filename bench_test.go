@@ -183,3 +183,24 @@ func BenchmarkSimThroughputTenantStorm(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 }
+
+// BenchmarkSimThroughputSharded is the TenantStorm workload spread
+// over a four-SSD topology: one victim+hog pair per device, each
+// device's event stream on its own shard merged by the global
+// (at, seq) key. It gates the sharded event core's dispatch rate —
+// the cross-shard merge must not drag events/sec below the
+// single-queue machine's ballpark.
+func BenchmarkSimThroughputSharded(b *testing.B) {
+	sc := tenants.ScaleOut(4, 100, 100)
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		_, ev, err := tenants.RunCounted(int64(i)+1, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += ev
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}

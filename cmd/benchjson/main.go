@@ -5,7 +5,7 @@
 //
 //	go test -bench 'Fig6LatBW' -benchmem -run '^$' . | benchjson -o out.json
 //	benchjson -baseline old-bench.txt -o out.json < new-bench.txt
-//	go test -bench . -run '^$' . | benchjson -check BENCH_PR6.json
+//	go test -bench . -run '^$' . | benchjson -check BENCH_PR8.json
 //
 // Every metric pair the testing package prints is kept, including
 // custom b.ReportMetric units such as virtual-ns/op. When a benchmark

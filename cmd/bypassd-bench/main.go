@@ -69,7 +69,7 @@ func main() {
 // JSON config file — and prints its per-tenant table. Like the
 // experiment path, the table goes to stdout and is deterministic for
 // a fixed seed; progress goes to stderr.
-func runTenants(nameOrPath string, seed int64, faultsP, out string) int {
+func runTenants(nameOrPath string, seed int64, devices int, faultsP, out string) int {
 	sc, ok := tenants.ByName(nameOrPath)
 	if !ok {
 		var err error
@@ -79,6 +79,9 @@ func runTenants(nameOrPath string, seed int64, faultsP, out string) int {
 			return 1
 		}
 	}
+	if devices > 0 {
+		sc.Devices = devices
+	}
 	if faultsP != "" {
 		if err := faults.Activate(faultsP, seed); err != nil {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
@@ -87,8 +90,8 @@ func runTenants(nameOrPath string, seed int64, faultsP, out string) int {
 		defer faults.Deactivate()
 		fmt.Fprintf(os.Stderr, "== fault profile %q armed (seed %d)\n", faultsP, seed)
 	}
-	fmt.Fprintf(os.Stderr, "== running tenant scenario %s (%d tenants, arbiter %s, seed %d)\n",
-		sc.Name, len(sc.Tenants), sc.ArbiterName(), seed)
+	fmt.Fprintf(os.Stderr, "== running tenant scenario %s (%d tenants, %d device(s), arbiter %s, seed %d)\n",
+		sc.Name, len(sc.Tenants), sc.NumDevices(), sc.ArbiterName(), seed)
 	start := time.Now()
 	results, err := tenants.Run(seed, sc)
 	if err != nil {
@@ -121,6 +124,7 @@ func run() int {
 		jsonOut  = flag.String("json", "", "write machine-readable results to this file")
 		faultsP  = flag.String("faults", "", "fault-injection profile name (see -list); empty = disabled")
 		tenantsF = flag.String("tenants", "", "run one multi-tenant scenario: a builtin name (see -list) or a JSON config file")
+		devices  = flag.Int("devices", 0, "SSD count for the topology-aware paths: overrides a -tenants scenario's device count and narrows T9 to one cell; 0 = scenario/experiment default")
 		traceOut = flag.String("trace", "", "write per-request spans to this file (Chrome trace-event JSON)")
 		metricsF = flag.Bool("metrics", false, "print the unified metrics registry to stdout after the run")
 		cpuProf  = flag.String("cpuprofile", "", "write a host CPU profile of the run to this file")
@@ -175,7 +179,7 @@ func run() int {
 	}
 
 	if *tenantsF != "" {
-		return runTenants(*tenantsF, *seed, *faultsP, *out)
+		return runTenants(*tenantsF, *seed, *devices, *faultsP, *out)
 	}
 
 	if *faultsP != "" {
@@ -214,7 +218,7 @@ func run() int {
 		metrics.Activate()
 	}
 
-	opts := experiments.Options{Quick: !*full, Seed: *seed, Parallelism: workers, Faults: *faultsP, Trials: *trials}
+	opts := experiments.Options{Quick: !*full, Seed: *seed, Parallelism: workers, Faults: *faultsP, Trials: *trials, Devices: *devices}
 	mode := "quick"
 	if *full {
 		mode = "full (paper-scale)"

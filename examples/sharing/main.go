@@ -98,7 +98,7 @@ func main() {
 		must(err)
 		info, err := prA.FDInfo(fa)
 		must(err)
-		if !sys.M.Revoked(info.Ino.Ino) {
+		if !sys.M.Revoked(info.Ino) {
 			log.Fatal("kernel open did not revoke direct access")
 		}
 		if _, err := ioA.Pread(p, fa, buf, 0); err != nil {

@@ -65,6 +65,33 @@ func NewOn(s *sim.Sim, capacityBytes int64, st *storage.Store) (*System, error) 
 	return &System{Sim: s, M: m, libs: make(map[*kernel.Process]*userlib.Lib), ownStore: st == nil}, nil
 }
 
+// NewN boots a fresh system with devices Optane-class SSDs of
+// capacityBytes each behind one shared IOMMU, on a new simulation.
+// devices == 1 is exactly New (byte-identical event stream).
+func NewN(capacityBytes int64, devices int) (*System, error) {
+	return NewOnN(sim.New(), capacityBytes, devices)
+}
+
+// NewOnN is NewN on an existing simulation. Every device boots with
+// its own fresh store; unique DevIDs are assigned at machine boot.
+func NewOnN(s *sim.Sim, capacityBytes int64, devices int) (*System, error) {
+	if devices < 1 {
+		return nil, fmt.Errorf("core: %d devices", devices)
+	}
+	dcfgs := make([]device.Config, devices)
+	for i := range dcfgs {
+		dcfgs[i] = device.OptaneP5800X(capacityBytes)
+	}
+	m, err := kernel.NewMachineN(s, kernel.DefaultConfig(), dcfgs, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Sim: s, M: m, libs: make(map[*kernel.Process]*userlib.Lib), ownStore: true}, nil
+}
+
+// Devices reports the number of SSDs in the system's topology.
+func (sys *System) Devices() int { return len(sys.M.Nodes) }
+
 // Close shuts the simulation down and, when the system owns its
 // backing store (booted fresh rather than from a caller's image),
 // returns the store's chunks to the shared pool. Harnesses that boot
@@ -78,13 +105,22 @@ func (sys *System) Close() {
 		sys.spdk.ReleaseResources()
 	}
 	if sys.ownStore {
-		sys.M.Dev.Store().Release()
+		for _, n := range sys.M.Nodes {
+			n.Dev.Store().Release()
+		}
 	}
 }
 
-// NewProcess creates a process with the given credentials.
+// NewProcess creates a process with the given credentials on device
+// node 0.
 func (sys *System) NewProcess(cred ext4.Cred) *kernel.Process {
 	return sys.M.NewProcess(cred)
+}
+
+// NewProcessOn creates a process bound to topology node devIdx; its
+// files, queues, and direct mappings all live on that device.
+func (sys *System) NewProcessOn(cred ext4.Cred, devIdx int) *kernel.Process {
+	return sys.M.NewProcessOn(cred, devIdx)
 }
 
 // Lib returns the process's UserLib instance, creating it on first

@@ -32,6 +32,12 @@ type Config struct {
 	DevID         uint8
 	CapacityBytes int64
 
+	// Shard is the simulation event shard the device's procs run on
+	// (sim.AddShard). Topology boot assigns one shard per device so
+	// each device's command stream lives in its own lane; 0 — shard 0 —
+	// is the single-device default.
+	Shard int
+
 	Channels int // internal parallelism (concurrent media ops)
 
 	ReadBase  sim.Time // fixed portion of a read's media time
@@ -195,7 +201,9 @@ func NewWithStore(s *sim.Sim, cfg Config, st *storage.Store) *SSD {
 	d.initSites()
 	d.initMetrics()
 	d.initHotPath()
-	s.Spawn(cfg.Name+"-dispatch", d.dispatch)
+	// The dispatch proc anchors the device's shard: serve procs spawn
+	// from it (inheriting the shard) and doorbell wakeups route to it.
+	s.SpawnOn(cfg.Shard, cfg.Name+"-dispatch", d.dispatch)
 	return d
 }
 
@@ -282,7 +290,7 @@ func Carve(s *sim.Sim, parent *SSD, name string, devID uint8, baseSector, sector
 	vf.initSites()
 	vf.initMetrics()
 	vf.initHotPath()
-	s.Spawn(cfg.Name+"-dispatch", vf.dispatch)
+	s.SpawnOn(cfg.Shard, cfg.Name+"-dispatch", vf.dispatch)
 	return vf, nil
 }
 

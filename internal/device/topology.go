@@ -1,0 +1,54 @@
+package device
+
+import "fmt"
+
+// Fleet DevID assignment. FTEs carry a DevID precisely so "a
+// malicious process does not use the VBA to access files on another
+// device" (paper §3.4, Fig. 3) — but the check compares IDs, so two
+// devices sharing one make it a silent no-op. The presets hardcode
+// DevIDs (OptaneP5800X = 1, ZSSD = 2, TLCFlash = 3), which is exactly
+// the trap: any fleet built from N copies of one preset collides.
+// Topology boot routes every fleet through AssignDevIDs before
+// construction and ValidateDevIDs after, so a duplicate can never
+// reach a running machine.
+
+// AssignDevIDs gives every config in a fleet a unique device
+// identifier. A fleet whose caller-set IDs are already pairwise
+// distinct and nonzero keeps them (mixed-preset fleets, and the
+// single-device default — byte-identity with the historical boot);
+// any collision or zero reassigns the whole fleet sequentially from 1
+// in fleet order, so the result never depends on which entries
+// clashed. Errors on an empty fleet or one larger than a uint8 can
+// name.
+func AssignDevIDs(cfgs []Config) error {
+	if len(cfgs) == 0 {
+		return fmt.Errorf("device: empty fleet")
+	}
+	if len(cfgs) > 255 {
+		return fmt.Errorf("device: fleet of %d devices exceeds the 255 DevIDs a uint8 carries", len(cfgs))
+	}
+	if ValidateDevIDs(cfgs) == nil {
+		return nil
+	}
+	for i := range cfgs {
+		cfgs[i].DevID = uint8(i + 1)
+	}
+	return nil
+}
+
+// ValidateDevIDs returns an error when any config carries DevID 0 or
+// two configs share an ID — the condition under which the Fig. 3
+// cross-device VBA denial can never fire between those devices.
+func ValidateDevIDs(cfgs []Config) error {
+	seen := make(map[uint8]string, len(cfgs))
+	for _, c := range cfgs {
+		if c.DevID == 0 {
+			return fmt.Errorf("device: %s has no DevID", c.Name)
+		}
+		if prev, dup := seen[c.DevID]; dup {
+			return fmt.Errorf("device: duplicate DevID %d (%s and %s) — cross-device VBA denial would be a no-op", c.DevID, prev, c.Name)
+		}
+		seen[c.DevID] = c.Name
+	}
+	return nil
+}

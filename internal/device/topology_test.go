@@ -1,0 +1,86 @@
+package device
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssignDevIDsSamePresetFleet(t *testing.T) {
+	cfgs := []Config{OptaneP5800X(1 << 28), OptaneP5800X(1 << 28), OptaneP5800X(1 << 28)}
+	if err := AssignDevIDs(cfgs); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint8]bool)
+	for i, c := range cfgs {
+		if c.DevID == 0 {
+			t.Errorf("config %d left with zero DevID", i)
+		}
+		if seen[c.DevID] {
+			t.Errorf("config %d duplicates DevID %d", i, c.DevID)
+		}
+		seen[c.DevID] = true
+	}
+	if err := ValidateDevIDs(cfgs); err != nil {
+		t.Fatalf("assigned fleet fails validation: %v", err)
+	}
+}
+
+// Distinct caller-set IDs survive assignment untouched: mixed-preset
+// fleets and the single-device default keep their historical identity.
+func TestAssignDevIDsKeepsDistinctIDs(t *testing.T) {
+	cfgs := []Config{OptaneP5800X(1 << 28), ZSSD(1 << 28), TLCFlash(1 << 28)}
+	want := []uint8{cfgs[0].DevID, cfgs[1].DevID, cfgs[2].DevID}
+	if err := AssignDevIDs(cfgs); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cfgs {
+		if c.DevID != want[i] {
+			t.Errorf("config %d DevID rewritten %d -> %d despite being distinct", i, want[i], c.DevID)
+		}
+	}
+}
+
+// Any collision reassigns the whole fleet in fleet order, so the
+// outcome is independent of which entries clashed.
+func TestAssignDevIDsReassignsWholeFleetOnCollision(t *testing.T) {
+	cfgs := []Config{ZSSD(1 << 28), OptaneP5800X(1 << 28), ZSSD(1 << 28)}
+	if err := AssignDevIDs(cfgs); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cfgs {
+		if c.DevID != uint8(i+1) {
+			t.Errorf("config %d DevID = %d, want sequential %d", i, c.DevID, i+1)
+		}
+	}
+}
+
+func TestAssignDevIDsErrors(t *testing.T) {
+	if err := AssignDevIDs(nil); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	big := make([]Config, 256)
+	for i := range big {
+		big[i] = OptaneP5800X(1 << 28)
+	}
+	if err := AssignDevIDs(big); err == nil {
+		t.Error("fleet larger than the uint8 DevID space accepted")
+	}
+}
+
+func TestValidateDevIDs(t *testing.T) {
+	a, b := OptaneP5800X(1<<28), OptaneP5800X(1<<28)
+	b.Name = "optane-2"
+	if err := ValidateDevIDs([]Config{a, b}); err == nil {
+		t.Error("duplicate DevIDs validated")
+	} else if !strings.Contains(err.Error(), a.Name) || !strings.Contains(err.Error(), b.Name) {
+		t.Errorf("duplicate error %q does not name both devices", err)
+	}
+	z := ZSSD(1 << 28)
+	z.DevID = 0
+	if err := ValidateDevIDs([]Config{z}); err == nil {
+		t.Error("zero DevID validated")
+	}
+	if err := ValidateDevIDs([]Config{a, ZSSD(1 << 28)}); err != nil {
+		t.Errorf("distinct fleet rejected: %v", err)
+	}
+}

@@ -37,6 +37,11 @@ type Options struct {
 	// Injector streams are seeded from Seed, so a fixed (Seed, Faults)
 	// pair replays byte-for-byte at any Parallelism.
 	Faults string
+	// Devices narrows the topology-aware experiments to one device
+	// count: T9 runs only the N-device cell instead of its 1→8 ladder.
+	// 0 (the default) sweeps the ladder. Other experiments ignore it —
+	// their single-device machines are the paper's testbed.
+	Devices int
 	// Trials is the number of independent seeded repetitions each
 	// sweep cell runs. <= 1 runs the single historical trial and keeps
 	// every table byte-identical to earlier releases. With N > 1, the

@@ -25,7 +25,7 @@ func runQuick(t *testing.T, id string) *Report {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"T1", "T2", "T4", "T5", "T6", "T7", "T8", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13", "F14", "F15", "F16", "A1", "A2", "A3", "A4", "A5", "A6", "S1", "S2"}
+	want := []string{"T1", "T2", "T4", "T5", "T6", "T7", "T8", "T9", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13", "F14", "F15", "F16", "A1", "A2", "A3", "A4", "A5", "A6", "S1", "S2"}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("experiment %s missing", id)

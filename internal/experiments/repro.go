@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -28,6 +29,13 @@ type ReproKV struct {
 // seed; trials=N instead re-runs the whole N-trial aggregation.
 // Omitted opts default to seed=1, trial 0, single trial, no faults,
 // quick mode — matching the CLI defaults the tables were built with.
+//
+// Because trial k's workload seed is Seed + k*stride, a single-trial
+// spec has aliases: seed=1000004 names the same replay as
+// seed=1,trial=1. Specs are canonicalized to the (base seed, trial
+// index) form — base seed in [1, stride] — at parse and render time,
+// so equal replays compare equal as strings and a cell's identity is
+// unambiguous in logs and gate reports.
 type ReproSpec struct {
 	ID     string
 	Match  []ReproKV
@@ -110,7 +118,26 @@ func ParseReproSpec(in string) (ReproSpec, error) {
 			return ReproSpec{}, fmt.Errorf("repro spec %q: unknown option %q (want seed=, trial=, trials=, faults=, full)", in, opt)
 		}
 	}
+	sp.normalize()
 	return sp, nil
+}
+
+// normalize rewrites an aliased single-trial spec to its canonical
+// (base seed, trial index) coordinates. TrialSeed(Trial) is invariant
+// under the rewrite: moving q strides out of the seed and into the
+// trial index names the same derived seed, so the replay is
+// unchanged. Multi-trial specs (trials=N) aggregate from the base
+// seed directly and have no alias to fold.
+func (s *ReproSpec) normalize() {
+	if s.Trials > 1 || s.Seed <= trialSeedStride {
+		return
+	}
+	q := (s.Seed - 1) / trialSeedStride
+	if q > int64(math.MaxInt-s.Trial) {
+		return // folding would overflow the trial index; leave the alias alone
+	}
+	s.Seed -= q * trialSeedStride
+	s.Trial += int(q)
 }
 
 func validIdent(s, what string) error {
@@ -127,11 +154,13 @@ func validIdent(s, what string) error {
 	return nil
 }
 
-// String renders the canonical form of the spec: seed always written,
-// zero trial / single trial / no faults / quick omitted, match keys
-// with spaces spelled '_'. Parsing a canonical string and re-rendering
-// it is the identity (FuzzReproSpec pins this).
+// String renders the canonical form of the spec: seed always written
+// and folded to its (base seed, trial index) form, zero trial /
+// single trial / no faults / quick omitted, match keys with spaces
+// spelled '_'. Parsing a canonical string and re-rendering it is the
+// identity (FuzzReproSpec pins this).
 func (s ReproSpec) String() string {
+	s.normalize()
 	var b strings.Builder
 	b.WriteString(s.ID)
 	for i, kv := range s.Match {

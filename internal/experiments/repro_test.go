@@ -41,20 +41,20 @@ func TestParseReproSpec(t *testing.T) {
 	}
 
 	bad := []string{
-		"",                 // no id
-		"T7:",              // empty match section
-		"T7:hogs",          // match without '='
-		"T7:hogs=",         // empty value
-		"T7:=8",            // empty key
-		"T7:a=b=c",         // '=' in value
-		"T7@",              // empty options
-		"T7@bogus=1",       // unknown option
-		"T7@trial=-1",      // negative trial
-		"T7@trials=0",      // trials below 1
-		"T7@seed=abc",      // non-numeric seed
-		"T7@full=yes",      // full takes no value
-		"T7@faults=a b",    // faults name with space
-		"bad id@seed=1",    // space in id
+		"",              // no id
+		"T7:",           // empty match section
+		"T7:hogs",       // match without '='
+		"T7:hogs=",      // empty value
+		"T7:=8",         // empty key
+		"T7:a=b=c",      // '=' in value
+		"T7@",           // empty options
+		"T7@bogus=1",    // unknown option
+		"T7@trial=-1",   // negative trial
+		"T7@trials=0",   // trials below 1
+		"T7@seed=abc",   // non-numeric seed
+		"T7@full=yes",   // full takes no value
+		"T7@faults=a b", // faults name with space
+		"bad id@seed=1", // space in id
 	}
 	for _, in := range bad {
 		if sp, err := ParseReproSpec(in); err == nil {
@@ -86,6 +86,75 @@ func TestReproSpecCanonical(t *testing.T) {
 		if again.String() != sp.String() {
 			t.Errorf("canonical %q not a fixed point: reparses to %q", sp.String(), again.String())
 		}
+	}
+}
+
+// A single-trial spec's workload seed is Seed + Trial*stride, so
+// seed=1000004 and seed=1,trial=1 name the same replay. Parsing must
+// fold the aliased form to canonical (base seed, trial index)
+// coordinates — and leave multi-trial specs, which aggregate from the
+// base seed, alone.
+func TestReproSpecSeedAliasing(t *testing.T) {
+	aliased, err := ParseReproSpec("T7@seed=1000004")
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical, err := ParseReproSpec("T7@seed=1,trial=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(aliased, canonical) {
+		t.Fatalf("aliased spec %+v != canonical %+v", aliased, canonical)
+	}
+	if aliased.Seed != 1 || aliased.Trial != 1 {
+		t.Fatalf("seed=1000004 folded to (seed=%d, trial=%d), want (1, 1)", aliased.Seed, aliased.Trial)
+	}
+	if got := aliased.String(); got != "T7@seed=1,trial=1" {
+		t.Fatalf("canonical render = %q, want %q", got, "T7@seed=1,trial=1")
+	}
+
+	cases := map[string]string{
+		// q strides fold out of the seed and into the trial index.
+		"T7@seed=1000004":                  "T7@seed=1,trial=1",
+		"T7@seed=2000007,trial=2":          "T7@seed=1,trial=4",
+		"T7@seed=1000003":                  "T7@seed=1000003", // stride itself is a base seed
+		"T7@seed=1000004,trial=0":          "T7@seed=1,trial=1",
+		"T8:engine=sync@seed=3000010,full": "T8:engine=sync@seed=1,trial=3,full",
+		// Multi-trial specs aggregate from the base seed: no fold.
+		"T8@seed=1000004,trials=3": "T8@seed=1000004,trials=3",
+		// Negative and small seeds are already canonical.
+		"T7@seed=-2000007": "T7@seed=-2000007",
+		"T7@seed=7":        "T7@seed=7",
+	}
+	for in, want := range cases {
+		sp, err := ParseReproSpec(in)
+		if err != nil {
+			t.Fatalf("ParseReproSpec(%q): %v", in, err)
+		}
+		if got := sp.String(); got != want {
+			t.Errorf("canonical(%q) = %q, want %q", in, got, want)
+		}
+	}
+
+	// The fold preserves the derived workload seed — the whole point.
+	o := Options{Seed: 1}
+	if got := o.TrialSeed(aliased.Trial); got != 1000004 {
+		t.Fatalf("derived seed after fold = %d, want 1000004", got)
+	}
+
+	// A seed too large to fold (trial index would overflow) parses and
+	// round-trips untouched rather than wrapping negative.
+	huge := "T7@seed=9223372036854775807,trial=9223372036854775807"
+	sp, err := ParseReproSpec(huge)
+	if err != nil {
+		t.Fatalf("ParseReproSpec(%q): %v", huge, err)
+	}
+	if sp.Trial <= 0 {
+		t.Fatalf("overflow guard failed: trial = %d", sp.Trial)
+	}
+	again, err := ParseReproSpec(sp.String())
+	if err != nil || !reflect.DeepEqual(sp, again) {
+		t.Fatalf("huge spec does not round-trip: %+v vs %+v (err %v)", sp, again, err)
 	}
 }
 
@@ -161,6 +230,10 @@ func FuzzReproSpec(f *testing.F) {
 		"T8:offered=1341,engine=sync@seed=-7,trials=5,faults=chaos,full",
 		"F9:threads=16,engine=io_uring@seed=1,full",
 		"T7@seed=9223372036854775807",
+		"T7@seed=1000004",
+		"T7@seed=2000007,trial=2",
+		"T8:engine=sync@seed=1000004,trials=3",
+		"T7@seed=9223372036854775807,trial=9223372036854775807",
 		"x:a=b", ":", "@", "a@full", "a:b=c@seed=1,seed=2",
 	} {
 		f.Add(s)

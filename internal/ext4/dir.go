@@ -220,6 +220,7 @@ func (fs *FS) create(p *sim.Proc, path string, mode uint16, c Cred) (*Inode, err
 	if in.IsDir() {
 		in.Links = 2
 	}
+	in.Dev = fs.devID
 	fs.inodes[ino] = in
 	fs.markDirty(in)
 

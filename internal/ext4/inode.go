@@ -18,7 +18,12 @@ type Extent struct {
 // Inode is the in-memory inode, mirroring the on-disk layout plus the
 // runtime state the kernel needs (cached file table, open tracking).
 type Inode struct {
-	Ino   uint32
+	Ino uint32
+	// Dev is the owning device's identifier, stamped when the FS
+	// materializes the inode (never stored on disk). Inode numbers are
+	// per-device — two mounts can both hand out ino 12 — so kernel
+	// state keyed by inode must key on (Dev, Ino), not Ino alone.
+	Dev   uint8
 	Mode  uint16
 	UID   uint16
 	GID   uint16
@@ -146,6 +151,7 @@ func (fs *FS) GetInode(p *sim.Proc, ino uint32) (*Inode, error) {
 	if err := fs.loadExtentChain(p, in); err != nil {
 		return nil, err
 	}
+	in.Dev = fs.devID
 	fs.inodes[ino] = in
 	return in, nil
 }

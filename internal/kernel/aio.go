@@ -107,7 +107,7 @@ func (c *AioContext) Submit(p *sim.Proc, ops []AioOp) error {
 		var lock *sim.Resource
 		if op.Write {
 			// i_rwsem: serialize write submission to the same inode.
-			lock = pr.M.writeLock(f.Ino.Ino)
+			lock = pr.M.writeLock(f.Ino)
 			lock.Acquire(p)
 		}
 		pr.vfsCharge(p, len(op.Buf))
@@ -147,7 +147,7 @@ func aioRun(w *sim.Proc, arg any) {
 	bufOff := int64(0)
 	for _, s := range req.segs {
 		n := s.Sectors * storage.SectorSize
-		st := pr.M.kq.submitRetry(w, nvme.SQE{
+		st := pr.node.kq.submitRetry(w, nvme.SQE{
 			Opcode:  opcode,
 			SLBA:    s.Sector,
 			Sectors: s.Sectors,
@@ -156,7 +156,7 @@ func aioRun(w *sim.Proc, arg any) {
 		})
 		if !st.OK() {
 			bad = fmt.Errorf("kernel: aio %v at sector %d on %s: %v",
-				opcode, s.Sector, pr.M.Dev.Config().Name, st)
+				opcode, s.Sector, pr.node.Dev.Config().Name, st)
 			break
 		}
 		bufOff += n

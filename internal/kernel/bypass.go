@@ -20,7 +20,7 @@ func (pr *Process) CreateUserQueue(p *sim.Proc, depth int) (*nvme.QueuePair, err
 	pr.enter(p)
 	defer pr.exit(p)
 	pr.M.CPU.Compute(p, 2*sim.Microsecond) // one-time setup cost
-	q, err := pr.M.Dev.CreateQueue(pr.PASID, depth)
+	q, err := pr.node.Dev.CreateQueue(pr.PASID, depth)
 	if err != nil {
 		return nil, err
 	}
@@ -55,7 +55,7 @@ func (pr *Process) OpenBypass(p *sim.Proc, path string, write bool) (fd int, bas
 	pr.enter(p)
 	m := pr.M
 	m.CPU.Compute(p, m.Cfg.OpenCost)
-	in, err := m.FS.Lookup(p, path, pr.Cred)
+	in, err := pr.node.FS.Lookup(p, path, pr.Cred)
 	if err != nil {
 		pr.exit(p)
 		return 0, 0, err
@@ -64,7 +64,7 @@ func (pr *Process) OpenBypass(p *sim.Proc, path string, write bool) (fd int, bas
 		pr.exit(p)
 		return 0, 0, ext4.ErrIsDir
 	}
-	if err := m.FS.Access(in, pr.Cred, write); err != nil {
+	if err := pr.node.FS.Access(in, pr.Cred, write); err != nil {
 		pr.exit(p)
 		return 0, 0, err
 	}
@@ -98,7 +98,7 @@ func (pr *Process) Fmap(p *sim.Proc, fd int) (uint64, error) {
 	defer pr.exit(p)
 
 	in := f.Ino
-	if m.revoked[in.Ino] || in.KernelOpens > 0 {
+	if m.revoked[ikey(in)] || in.KernelOpens > 0 {
 		return 0, nil // VBA 0: use the kernel interface (paper §3.6)
 	}
 	if m.Faults.Fire(faults.SiteKernelFmapZero) {
@@ -118,7 +118,7 @@ func (pr *Process) Fmap(p *sim.Proc, fd int) (uint64, error) {
 		in.BypassOpens--
 	}
 
-	ft, built := m.FS.FileTable(in)
+	ft, built := pr.node.FS.FileTable(in)
 	if built {
 		// Cold fmap: population of the file table entries dominates
 		// (Table 5 fit: ~5 ns per PTE + extent-tree setup).
@@ -143,9 +143,9 @@ func (pr *Process) Fmap(p *sim.Proc, fd int) (uint64, error) {
 	// Warm fmap: a handful of pointer updates (Table 5 fit).
 	m.CPU.Compute(p, m.Cfg.FmapBase+sim.Time(updates)*m.Cfg.FmapPerPMD)
 
-	att := &Attachment{Proc: pr, Ino: in.Ino, Base: base, Span: span, Reserved: reserved, Writable: f.Writable}
+	att := &Attachment{Proc: pr, key: ikey(in), Base: base, Span: span, Reserved: reserved, Writable: f.Writable}
 	f.Bypass = att
-	m.attachments[in.Ino] = append(m.attachments[in.Ino], att)
+	m.attachments[att.key] = append(m.attachments[att.key], att)
 	in.BypassOpens++
 	return base, nil
 }
@@ -172,15 +172,15 @@ func (m *Machine) funmap(att *Attachment) {
 }
 
 func (m *Machine) removeAttachment(att *Attachment) {
-	list := m.attachments[att.Ino]
+	list := m.attachments[att.key]
 	for i, a := range list {
 		if a == att {
-			m.attachments[att.Ino] = append(list[:i], list[i+1:]...)
+			m.attachments[att.key] = append(list[:i], list[i+1:]...)
 			break
 		}
 	}
-	if len(m.attachments[att.Ino]) == 0 {
-		delete(m.attachments, att.Ino)
+	if len(m.attachments[att.key]) == 0 {
+		delete(m.attachments, att.key)
 	}
 }
 
@@ -189,9 +189,9 @@ func (m *Machine) removeAttachment(att *Attachment) {
 // faults; UserLib re-issues fmap(), receives VBA 0, and falls back to
 // the kernel interface (paper §3.6).
 func (m *Machine) Revoke(in *ext4.Inode) {
-	ino := in.Ino
-	m.revoked[ino] = true
-	for _, att := range m.attachments[ino] {
+	k := ikey(in)
+	m.revoked[k] = true
+	for _, att := range m.attachments[k] {
 		if att.Region {
 			m.regionDetach(att)
 		} else {
@@ -200,7 +200,7 @@ func (m *Machine) Revoke(in *ext4.Inode) {
 		}
 		att.Revoked = true
 	}
-	delete(m.attachments, ino)
+	delete(m.attachments, k)
 }
 
 // syncGrowth attaches newly created file-table fragments into every
@@ -214,12 +214,12 @@ func (m *Machine) syncGrowth(in *ext4.Inode) {
 	var newSpan uint64
 	var frags []*pagetable.Node
 	if in.HasFileTable() {
-		ft, _ = m.FS.FileTable(in)
+		ft, _ = m.node(in).FS.FileTable(in)
 		newSpan = ft.SpanBytes()
 		frags = ft.Fragments()
 	}
 	var exhausted bool
-	for _, att := range m.attachments[in.Ino] {
+	for _, att := range m.attachments[ikey(in)] {
 		if att.Region {
 			m.regionSync(in, att)
 			continue
@@ -252,7 +252,7 @@ func (m *Machine) syncGrowth(in *ext4.Inode) {
 // layout changed (truncate); page-table FTEs were already updated via
 // the shared fragments, while extent-table mappings re-register.
 func (m *Machine) invalidateMappings(in *ext4.Inode) {
-	for _, att := range m.attachments[in.Ino] {
+	for _, att := range m.attachments[ikey(in)] {
 		if att.Region {
 			m.regionSync(in, att)
 			continue
@@ -265,9 +265,9 @@ func (m *Machine) invalidateMappings(in *ext4.Inode) {
 // direct access again. Existing attachments stay detached — each
 // process re-attaches on its next fault via the refmap path (§3.6).
 func (m *Machine) Restore(in *ext4.Inode) {
-	delete(m.revoked, in.Ino)
+	delete(m.revoked, ikey(in))
 }
 
 // Revoked reports whether direct access to the inode is currently
 // revoked (tests, Fig. 12 harness).
-func (m *Machine) Revoked(ino uint32) bool { return m.revoked[ino] }
+func (m *Machine) Revoked(in *ext4.Inode) bool { return m.revoked[ikey(in)] }

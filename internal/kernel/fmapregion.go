@@ -41,7 +41,7 @@ func (pr *Process) FmapRegion(p *sim.Proc, fd int) (uint64, error) {
 	defer pr.exit(p)
 
 	in := f.Ino
-	if m.revoked[in.Ino] || in.KernelOpens > 0 {
+	if m.revoked[ikey(in)] || in.KernelOpens > 0 {
 		return 0, nil
 	}
 	if f.Bypass != nil {
@@ -56,16 +56,16 @@ func (pr *Process) FmapRegion(p *sim.Proc, fd int) (uint64, error) {
 	base := pr.allocVBA(reserved)
 	segs := regionSegs(in)
 	m.CPU.Compute(p, m.Cfg.FmapBase+sim.Time(len(segs))*fmapRegionPerExtent)
-	if err := m.MMU.RegisterRegion(pr.PASID, m.Dev.Config().DevID, base, reserved, f.Writable, segs); err != nil {
+	if err := m.MMU.RegisterRegion(pr.PASID, pr.node.Dev.Config().DevID, base, reserved, f.Writable, segs); err != nil {
 		return 0, err
 	}
 
 	att := &Attachment{
-		Proc: pr, Ino: in.Ino, Base: base, Span: span, Reserved: reserved,
+		Proc: pr, key: ikey(in), Base: base, Span: span, Reserved: reserved,
 		Writable: f.Writable, Region: true,
 	}
 	f.Bypass = att
-	m.attachments[in.Ino] = append(m.attachments[in.Ino], att)
+	m.attachments[att.key] = append(m.attachments[att.key], att)
 	in.BypassOpens++
 	return base, nil
 }
@@ -85,7 +85,7 @@ func (m *Machine) regionSync(in *ext4.Inode, att *Attachment) {
 		m.Revoke(in)
 		return
 	}
-	if err := m.MMU.RegisterRegion(att.Proc.PASID, m.Dev.Config().DevID, att.Base, att.Reserved, att.Writable, segs); err != nil {
+	if err := m.MMU.RegisterRegion(att.Proc.PASID, att.Proc.node.Dev.Config().DevID, att.Base, att.Reserved, att.Writable, segs); err != nil {
 		m.Revoke(in)
 		return
 	}

@@ -4,6 +4,13 @@
 // Table 1, the block layer and NVMe driver, the standard I/O paths
 // (synchronous, libaio, io_uring with SQPOLL), and the BypassD kernel
 // module (user queue pairs, DMA buffers, fmap(), revocation).
+//
+// A machine fronts one or more SSDs behind a single shared IOMMU
+// (paper §3.4: the file-table entries carry a DevID so a VBA minted
+// for one device cannot reach another). Each device is a DevNode —
+// the SSD, its mounted file system, and the kernel queue that submits
+// on it — and each node's device procs run on their own event shard,
+// merged deterministically by the simulator (DESIGN.md §14).
 package kernel
 
 import (
@@ -65,18 +72,59 @@ func DefaultConfig() Config {
 	}
 }
 
-// Machine is a booted system: device + IOMMU + mounted file system.
+// inoKey identifies an inode machine-wide. Inode numbers are
+// per-device — two mounts can both hand out ino 12 — so every piece
+// of kernel state keyed by inode (attachments, revocations, write
+// locks) keys on (device, ino), never on the bare number.
+type inoKey struct {
+	dev uint8
+	ino uint32
+}
+
+// ikey builds the machine-wide key for an inode.
+func ikey(in *ext4.Inode) inoKey { return inoKey{dev: in.Dev, ino: in.Ino} }
+
+// DevNode is one SSD of the machine's topology: the device, its
+// mounted file system, and the kernel queue that submits on it. Each
+// node's device procs run on their own simulator event shard, so an
+// N-device machine advances N independent event streams that the
+// scheduler merges deterministically by the global (at, seq) key.
+type DevNode struct {
+	Index int // position in Machine.Nodes
+	Shard int // sim event shard the node's device procs run on
+	Dev   *device.SSD
+	FS    *ext4.FS
+
+	kq *kernelQueue
+}
+
+// Machine is a booted system: a device fleet + shared IOMMU, with a
+// mounted file system per device.
 type Machine struct {
 	Sim *sim.Sim
 	CPU *sim.CPUSet
+	// Dev and FS alias node 0 — the historical single-device surface.
+	// Every existing single-device caller keeps working unchanged;
+	// multi-device callers go through Nodes.
 	Dev *device.SSD
 	MMU *iommu.IOMMU
 	FS  *ext4.FS
 	Cfg Config
 
+	// Nodes is the device topology, in boot order. Node 0 runs on
+	// event shard 0, so a one-node machine is byte-identical to the
+	// pre-topology single-lane machine.
+	Nodes []*DevNode
+
+	// nodeByDev routes an inode (via Inode.Dev) back to its node.
+	// Construction guarantees the mapping is injective: a duplicate
+	// DevID is a boot error, because the FTE DevID check (paper §3.4,
+	// Fig. 3) is a silent no-op between devices sharing an ID.
+	nodeByDev map[uint8]*DevNode
+
 	// Faults is the machine's fault plane, built from the globally
-	// active profile at boot and shared with the device, IOMMU and
-	// file system. Nil (the untriggered default) is inert.
+	// active profile at boot and shared with the devices, IOMMU and
+	// file systems. Nil (the untriggered default) is inert.
 	Faults *faults.Injector
 
 	// BlockRetries counts transient device errors the kernel block
@@ -97,15 +145,15 @@ type Machine struct {
 
 	// attachments tracks every fmap()ed (process, region) per inode
 	// so the kernel can revoke direct access (paper §3.6).
-	attachments map[uint32][]*Attachment
-	revoked     map[uint32]bool
+	attachments map[inoKey][]*Attachment
+	revoked     map[inoKey]bool
 
 	// writeLocks models ext4's per-inode i_rwsem, held exclusively
 	// during direct-I/O write submission. Concurrent writers to one
 	// file serialize here — the bottleneck the paper observes for
 	// KVell on YCSB A, which BypassD sidesteps by writing from
 	// userspace (§6.5).
-	writeLocks map[uint32]*sim.Resource
+	writeLocks map[inoKey]*sim.Resource
 
 	// dmaBufs tracks every pinned DMA buffer handed out on this
 	// machine, recycled at teardown via ReleaseResources.
@@ -117,8 +165,10 @@ type Machine struct {
 // teardown path that owns the machine (core.System.Close) may call it;
 // the machine must not be used afterwards.
 func (m *Machine) ReleaseResources() {
-	m.Dev.ReleaseResources()
-	m.FS.ReleaseResources()
+	for _, n := range m.Nodes {
+		n.Dev.ReleaseResources()
+		n.FS.ReleaseResources()
+	}
 	for i, b := range m.dmaBufs {
 		device.PutDMABuf(b)
 		m.dmaBufs[i] = nil
@@ -129,7 +179,6 @@ func (m *Machine) ReleaseResources() {
 // Attachment is one process's fmap()ed view of a file.
 type Attachment struct {
 	Proc     *Process
-	Ino      uint32
 	Base     uint64
 	Span     uint64 // bytes currently attached
 	Reserved uint64 // virtual region reserved for in-place growth
@@ -138,73 +187,140 @@ type Attachment struct {
 	// Region marks a §5.1 extent-table mapping (FmapRegion) rather
 	// than page-table FTEs.
 	Region bool
+
+	key inoKey // owning inode, machine-wide
 }
 
-// NewMachine boots a machine. If st is nil a fresh store is created
-// and formatted; otherwise the existing image is mounted.
+// NewMachine boots a single-device machine. If st is nil a fresh
+// store is created and formatted; otherwise the existing image is
+// mounted.
 func NewMachine(s *sim.Sim, cfg Config, dcfg device.Config, st *storage.Store) (*Machine, error) {
-	fresh := st == nil
-	if fresh {
-		st = storage.NewBytes(dcfg.CapacityBytes)
+	return NewMachineN(s, cfg, []device.Config{dcfg}, []*storage.Store{st})
+}
+
+// NewMachineN boots a machine over a device fleet sharing one IOMMU.
+// The fleet's DevIDs are made unique before any device exists
+// (device.AssignDevIDs): presets hardcode their IDs, so a fleet of N
+// copies of one preset would otherwise collide and turn the Fig. 3
+// cross-device VBA denial into a no-op. Device i > 0 gets a fresh
+// event shard; device 0 stays on shard 0, which keeps a one-device
+// boot byte-identical to the pre-topology machine. sts supplies
+// per-device images (a nil slice, or nil entries, format fresh
+// stores). dcfgs is modified in place (DevID/Shard assignment).
+func NewMachineN(s *sim.Sim, cfg Config, dcfgs []device.Config, sts []*storage.Store) (*Machine, error) {
+	if len(sts) != 0 && len(sts) != len(dcfgs) {
+		return nil, fmt.Errorf("kernel: %d stores for %d devices", len(sts), len(dcfgs))
+	}
+	if err := device.AssignDevIDs(dcfgs); err != nil {
+		return nil, err
 	}
 	m := &Machine{
 		Sim:         s,
 		CPU:         s.NewCPUSet(cfg.Cores),
 		Cfg:         cfg,
-		attachments: make(map[uint32][]*Attachment),
-		revoked:     make(map[uint32]bool),
-		writeLocks:  make(map[uint32]*sim.Resource),
+		nodeByDev:   make(map[uint8]*DevNode, len(dcfgs)),
+		attachments: make(map[inoKey][]*Attachment),
+		revoked:     make(map[inoKey]bool),
+		writeLocks:  make(map[inoKey]*sim.Resource),
 		nextPASID:   100,
 	}
-	m.Dev = device.NewWithStore(s, dcfg, st)
 	m.MMU = iommu.New(iommu.DefaultConfig())
-	m.Dev.AttachIOMMU(m.MMU)
 	m.Faults = faults.NewFromActive()
-	m.Dev.SetInjector(m.Faults)
 	m.MMU.SetInjector(m.Faults)
 
-	if fresh {
-		if err := ext4.Mkfs(&ext4.Direct{St: st}, ext4.DefaultOptions(dcfg.CapacityBytes, dcfg.DevID)); err != nil {
+	names := make(map[string]bool, len(dcfgs))
+	for i := range dcfgs {
+		dcfg := dcfgs[i]
+		if names[dcfg.Name] {
+			// Same-preset fleet: disambiguate resource, trace, and
+			// error-message names. The first occurrence — and thus any
+			// single-device boot — keeps its preset name.
+			dcfg.Name = fmt.Sprintf("%s.%d", dcfg.Name, i)
+		}
+		names[dcfg.Name] = true
+		dcfg.Shard = 0
+		if i > 0 {
+			dcfg.Shard = s.AddShard()
+		}
+		dcfgs[i] = dcfg
+
+		var st *storage.Store
+		if len(sts) > 0 {
+			st = sts[i]
+		}
+		fresh := st == nil
+		if fresh {
+			st = storage.NewBytes(dcfg.CapacityBytes)
+		}
+		dev := device.NewWithStore(s, dcfg, st)
+		dev.AttachIOMMU(m.MMU)
+		dev.SetInjector(m.Faults)
+
+		if fresh {
+			if err := ext4.Mkfs(&ext4.Direct{St: st}, ext4.DefaultOptions(dcfg.CapacityBytes, dcfg.DevID)); err != nil {
+				return nil, err
+			}
+		}
+		// Boot-time mount goes through the untimed path; runtime I/O
+		// then flows through the timed kernel BlockIO.
+		fs, err := ext4.Mount(nil, &ext4.Direct{St: st}, dcfg.DevID, s.Now)
+		if err != nil {
 			return nil, err
 		}
-	}
-	// Boot-time mount goes through the untimed path; runtime I/O then
-	// flows through the timed kernel BlockIO.
-	fs, err := ext4.Mount(nil, &ext4.Direct{St: st}, dcfg.DevID, s.Now)
-	if err != nil {
-		return nil, err
-	}
-	m.FS = fs
+		q, err := dev.CreateQueue(0, 4096)
+		if err != nil {
+			return nil, err
+		}
+		n := &DevNode{Index: i, Shard: dcfg.Shard, Dev: dev, FS: fs}
+		n.kq = &kernelQueue{m: m, n: n, q: q, waiters: make(map[uint16]*waiter)}
+		fs.SetBlockIO(&kernelBIO{m: m, n: n})
+		fs.SetInjector(m.Faults)
 
-	q, err := m.Dev.CreateQueue(0, 4096)
-	if err != nil {
-		return nil, err
+		if prev, dup := m.nodeByDev[dcfg.DevID]; dup {
+			return nil, fmt.Errorf("kernel: duplicate DevID %d (%s and %s)",
+				dcfg.DevID, prev.Dev.Config().Name, dcfg.Name)
+		}
+		m.nodeByDev[dcfg.DevID] = n
+		m.Nodes = append(m.Nodes, n)
 	}
-	m.kq = &kernelQueue{m: m, q: q, waiters: make(map[uint16]*waiter)}
-	fs.SetBlockIO(&kernelBIO{m: m})
-	fs.SetInjector(m.Faults)
+	n0 := m.Nodes[0]
+	m.Dev, m.FS, m.kq = n0.Dev, n0.FS, n0.kq
 	m.mBlockRetries = metrics.GetCounter("kernel_block_retries_total")
-	if tr := trace.NewFromActive(dcfg.Name); tr != nil {
+	if tr := trace.NewFromActive(dcfgs[0].Name); tr != nil {
 		m.EnableTrace(tr)
 	}
 	return m, nil
 }
 
 // EnableTrace attaches a span tracer to the machine and its file
-// system. Harnesses that want attribution without arming the global
+// systems. Harnesses that want attribution without arming the global
 // plane (fio.Spec.Trace, the T6 experiment) call this with a
 // standalone trace.NewTracer.
 func (m *Machine) EnableTrace(tr *trace.Tracer) {
 	m.Trace = tr
-	m.FS.SetTracer(tr)
+	for _, n := range m.Nodes {
+		n.FS.SetTracer(tr)
+	}
+}
+
+// node routes an inode to the topology node that owns it, via the
+// device identity stamped on the inode at materialization.
+func (m *Machine) node(in *ext4.Inode) *DevNode {
+	if n, ok := m.nodeByDev[in.Dev]; ok {
+		return n
+	}
+	// Inodes built outside a mount (tests) carry Dev 0; node 0 is the
+	// only sensible home.
+	return m.Nodes[0]
 }
 
 // writeLock returns the inode's i_rwsem equivalent.
-func (m *Machine) writeLock(ino uint32) *sim.Resource {
-	l, ok := m.writeLocks[ino]
+func (m *Machine) writeLock(in *ext4.Inode) *sim.Resource {
+	k := ikey(in)
+	l, ok := m.writeLocks[k]
 	if !ok {
-		l = m.Sim.NewResource(fmt.Sprintf("i_rwsem-%d", ino), 1)
-		m.writeLocks[ino] = l
+		l = m.Sim.NewResource(fmt.Sprintf("i_rwsem-%d", k.ino), 1)
+		m.writeLocks[k] = l
 	}
 	return l
 }
@@ -220,6 +336,7 @@ type waiter struct {
 // rather than burning CPU.
 type kernelQueue struct {
 	m       *Machine
+	n       *DevNode
 	q       *nvme.QueuePair
 	waiters map[uint16]*waiter
 	nextCID uint16
@@ -316,10 +433,12 @@ func (k *kernelQueue) submitRetry(p *sim.Proc, e nvme.SQE) nvme.Status {
 	}
 }
 
-// kernelBIO is the timed ext4.BlockIO: it charges the block layer and
-// driver costs, then performs the transfer through the device.
+// kernelBIO is the timed ext4.BlockIO for one node: it charges the
+// block layer and driver costs, then performs the transfer through
+// the node's device.
 type kernelBIO struct {
 	m *Machine
+	n *DevNode
 }
 
 var _ ext4.BlockIO = (*kernelBIO)(nil)
@@ -338,7 +457,7 @@ func (b *kernelBIO) io(p *sim.Proc, op nvme.Opcode, blk, n int64, buf []byte) er
 		panic("kernel: timed block I/O without a proc")
 	}
 	b.charge(p)
-	st := b.m.kq.submitRetry(p, nvme.SQE{
+	st := b.n.kq.submitRetry(p, nvme.SQE{
 		Opcode:  op,
 		SLBA:    blk * ext4.SectorsPerBlock,
 		Sectors: n * ext4.SectorsPerBlock,
@@ -346,7 +465,7 @@ func (b *kernelBIO) io(p *sim.Proc, op nvme.Opcode, blk, n int64, buf []byte) er
 	})
 	if !st.OK() {
 		return fmt.Errorf("kernel: block %s at %d on %s queue %d: %v",
-			op, blk, b.m.Dev.Config().Name, b.m.kq.q.ID, st)
+			op, blk, b.n.Dev.Config().Name, b.n.kq.q.ID, st)
 	}
 	return nil
 }
@@ -368,7 +487,7 @@ func (b *kernelBIO) Flush(p *sim.Proc) error {
 		panic("kernel: timed flush without a proc")
 	}
 	b.m.CPU.Compute(p, b.m.Cfg.DriverSubmit)
-	if st := b.m.kq.submitAndWait(p, nvme.SQE{Opcode: nvme.OpFlush}); !st.OK() {
+	if st := b.n.kq.submitAndWait(p, nvme.SQE{Opcode: nvme.OpFlush}); !st.OK() {
 		return fmt.Errorf("kernel: flush: %v", st)
 	}
 	return nil

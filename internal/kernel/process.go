@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 
+	"repro/internal/device"
 	"repro/internal/ext4"
 	"repro/internal/nvme"
 	"repro/internal/pagetable"
@@ -29,6 +30,11 @@ type Process struct {
 	// default class.
 	QoS nvme.QoS
 
+	// node is the device the process fronts: its file-system view,
+	// kernel submission queue, and user queues all live there. Cross-
+	// device access from a VBA is what the IOMMU's DevID check denies.
+	node *DevNode
+
 	nextVBA uint64
 	fds     map[int]*FD
 	nextFD  int
@@ -50,9 +56,20 @@ type FD struct {
 	timesDirty bool
 }
 
-// NewProcess creates a process and registers its address space with
-// the IOMMU.
+// NewProcess creates a process on device node 0 and registers its
+// address space with the IOMMU.
 func (m *Machine) NewProcess(cred ext4.Cred) *Process {
+	return m.NewProcessOn(cred, 0)
+}
+
+// NewProcessOn creates a process bound to topology node devIdx: its
+// file operations resolve on that node's file system and its I/O
+// submits on that node's queues. Tenant placement (striping across a
+// fleet) picks the node here; everything downstream routes through it.
+func (m *Machine) NewProcessOn(cred ext4.Cred, devIdx int) *Process {
+	if devIdx < 0 || devIdx >= len(m.Nodes) {
+		panic(fmt.Sprintf("kernel: NewProcessOn(%d) on a %d-node machine", devIdx, len(m.Nodes)))
+	}
 	m.nextPID++
 	m.nextPASID++
 	pr := &Process{
@@ -61,6 +78,7 @@ func (m *Machine) NewProcess(cred ext4.Cred) *Process {
 		PASID:   m.nextPASID,
 		Cred:    cred,
 		Table:   pagetable.New(),
+		node:    m.Nodes[devIdx],
 		nextVBA: 0x5000_0000_0000, // fmap region base, PMD aligned
 		fds:     make(map[int]*FD),
 		nextFD:  3,
@@ -68,6 +86,12 @@ func (m *Machine) NewProcess(cred ext4.Cred) *Process {
 	m.MMU.RegisterPASID(pr.PASID, pr.Table)
 	return pr
 }
+
+// Dev returns the SSD of the node the process is bound to.
+func (pr *Process) Dev() *device.SSD { return pr.node.Dev }
+
+// Node reports the topology index the process is bound to.
+func (pr *Process) Node() int { return pr.node.Index }
 
 // Exit closes all descriptors and unregisters the address space.
 func (pr *Process) Exit(p *sim.Proc) {
@@ -129,7 +153,7 @@ func (pr *Process) Create(p *sim.Proc, path string, perm uint16) (int, error) {
 	defer pr.exit(p)
 	m := pr.M
 	m.CPU.Compute(p, m.Cfg.OpenCost)
-	in, err := m.FS.Create(p, path, perm, pr.Cred)
+	in, err := pr.node.FS.Create(p, path, perm, pr.Cred)
 	if err != nil {
 		if err == ext4.ErrExist {
 			fd, _, err2 := pr.openLocked(p, path, true, true)
@@ -137,7 +161,7 @@ func (pr *Process) Create(p *sim.Proc, path string, perm uint16) (int, error) {
 				return 0, err2
 			}
 			f, _ := pr.fd(fd)
-			if terr := m.FS.Truncate(p, f.Ino, 0); terr != nil {
+			if terr := pr.node.FS.Truncate(p, f.Ino, 0); terr != nil {
 				return 0, terr
 			}
 			return fd, nil
@@ -155,14 +179,14 @@ func (pr *Process) openLocked(p *sim.Proc, path string, write, charged bool) (in
 	if !charged {
 		m.CPU.Compute(p, m.Cfg.OpenCost)
 	}
-	in, err := m.FS.Lookup(p, path, pr.Cred)
+	in, err := pr.node.FS.Lookup(p, path, pr.Cred)
 	if err != nil {
 		return 0, nil, err
 	}
 	if in.IsDir() {
 		return 0, nil, ext4.ErrIsDir
 	}
-	if err := m.FS.Access(in, pr.Cred, write); err != nil {
+	if err := pr.node.FS.Access(in, pr.Cred, write); err != nil {
 		return 0, nil, err
 	}
 	in.KernelOpens++
@@ -205,7 +229,7 @@ func (pr *Process) Close(p *sim.Proc, fd int) error {
 		// point, as mmap()ed files do.
 	}
 	if f.Ino.BypassOpens == 0 && f.Ino.KernelOpens == 0 {
-		delete(m.revoked, f.Ino.Ino)
+		delete(m.revoked, ikey(f.Ino))
 	}
 	delete(pr.fds, fd)
 	return nil
@@ -220,7 +244,7 @@ func (pr *Process) Unlink(p *sim.Proc, path string) error {
 	pr.enter(p)
 	defer pr.exit(p)
 	pr.M.CPU.Compute(p, pr.M.Cfg.OpenCost)
-	return pr.M.FS.Unlink(p, path, pr.Cred)
+	return pr.node.FS.Unlink(p, path, pr.Cred)
 }
 
 // Mkdir creates a directory.
@@ -232,6 +256,6 @@ func (pr *Process) Mkdir(p *sim.Proc, path string, perm uint16) error {
 	pr.enter(p)
 	defer pr.exit(p)
 	pr.M.CPU.Compute(p, pr.M.Cfg.OpenCost)
-	_, err = pr.M.FS.Mkdir(p, path, perm, pr.Cred)
+	_, err = pr.node.FS.Mkdir(p, path, perm, pr.Cred)
 	return err
 }

@@ -19,7 +19,7 @@ func (pr *Process) Rename(p *sim.Proc, oldPath, newPath string) error {
 	pr.enter(p)
 	defer pr.exit(p)
 	pr.M.CPU.Compute(p, pr.M.Cfg.OpenCost)
-	return pr.M.FS.Rename(p, oldPath, newPath, pr.Cred)
+	return pr.node.FS.Rename(p, oldPath, newPath, pr.Cred)
 }
 
 // Relink atomically grafts the staging file's blocks onto the end of
@@ -42,9 +42,11 @@ func (pr *Process) Relink(p *sim.Proc, stagingFD, targetFD int) error {
 	defer pr.exit(p)
 	m := pr.M
 
-	// Order the inode write locks by number to avoid deadlock.
-	a, b := src.Ino.Ino, dst.Ino.Ino
-	if a > b {
+	// Order the inode write locks by (device, number) to avoid
+	// deadlock. Both descriptors were opened on pr's node, but the
+	// ordering key is the machine-wide identity regardless.
+	a, b := src.Ino, dst.Ino
+	if a.Dev > b.Dev || (a.Dev == b.Dev && a.Ino > b.Ino) {
 		a, b = b, a
 	}
 	la := m.writeLock(a)
@@ -63,7 +65,7 @@ func (pr *Process) Relink(p *sim.Proc, stagingFD, targetFD int) error {
 
 	// Relink is pure metadata: charge one VFS traversal.
 	pr.vfsCharge(p, 0)
-	if err := m.FS.Relink(p, src.Ino, dst.Ino); err != nil {
+	if err := pr.node.FS.Relink(p, src.Ino, dst.Ino); err != nil {
 		return err
 	}
 	// The staging file's mappings must stop resolving; the target's

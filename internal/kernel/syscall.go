@@ -43,7 +43,7 @@ func (pr *Process) Pread(p *sim.Proc, fd int, buf []byte, off int64) (int, error
 	defer pr.exit(p)
 	pr.injectRevoke(f)
 	pr.vfsCharge(p, len(buf))
-	return pr.M.FS.ReadAt(p, f.Ino, off, buf)
+	return pr.node.FS.ReadAt(p, f.Ino, off, buf)
 }
 
 // Pwrite writes through the synchronous kernel path. Appends (writes
@@ -63,10 +63,10 @@ func (pr *Process) Pwrite(p *sim.Proc, fd int, data []byte, off int64) (int, err
 	pr.injectRevoke(f)
 	// ext4 holds the inode's i_rwsem exclusively across direct-I/O
 	// write submission, serializing concurrent writers to one file.
-	lock := pr.M.writeLock(f.Ino.Ino)
+	lock := pr.M.writeLock(f.Ino)
 	lock.Acquire(p)
 	pr.vfsCharge(p, len(data))
-	n, err := pr.M.FS.WriteAt(p, f.Ino, off, data)
+	n, err := pr.node.FS.WriteAt(p, f.Ino, off, data)
 	pr.M.syncGrowth(f.Ino)
 	lock.Release()
 	return n, err
@@ -107,7 +107,7 @@ func (pr *Process) Fallocate(p *sim.Proc, fd int, size int64) error {
 	pr.enter(p)
 	defer pr.exit(p)
 	pr.vfsCharge(p, 0)
-	if err := pr.M.FS.Fallocate(p, f.Ino, size); err != nil {
+	if err := pr.node.FS.Fallocate(p, f.Ino, size); err != nil {
 		return err
 	}
 	pr.M.syncGrowth(f.Ino)
@@ -127,7 +127,7 @@ func (pr *Process) Ftruncate(p *sim.Proc, fd int, size int64) error {
 	pr.enter(p)
 	defer pr.exit(p)
 	pr.vfsCharge(p, 0)
-	if err := pr.M.FS.Truncate(p, f.Ino, size); err != nil {
+	if err := pr.node.FS.Truncate(p, f.Ino, size); err != nil {
 		return err
 	}
 	// Invalidate any cached IOMMU translations for truncated pages.
@@ -149,14 +149,14 @@ func (pr *Process) Fsync(p *sim.Proc, fd int) error {
 		f.Ino.Mtime = pr.M.Sim.Now()
 		f.timesDirty = false
 	}
-	return pr.M.FS.Fsync(p, f.Ino)
+	return pr.node.FS.Fsync(p, f.Ino)
 }
 
 // Sync is sync(2): flush the device and commit all dirty metadata.
 func (pr *Process) Sync(p *sim.Proc) error {
 	pr.enter(p)
 	defer pr.exit(p)
-	return pr.M.FS.Sync(p)
+	return pr.node.FS.Sync(p)
 }
 
 // Stat returns file metadata.
@@ -168,7 +168,7 @@ func (pr *Process) Stat(p *sim.Proc, path string) (*ext4.Inode, error) {
 	pr.enter(p)
 	defer pr.exit(p)
 	pr.M.CPU.Compute(p, pr.M.Cfg.OpenCost/2)
-	return pr.M.FS.Lookup(p, path, pr.Cred)
+	return pr.node.FS.Lookup(p, path, pr.Cred)
 }
 
 // MarkTimesDirty records that a BypassD-interface data operation

@@ -85,13 +85,13 @@ func (u *Uring) poll(p *sim.Proc) {
 			// NVMe path for the duration of this request.
 			p.SetTraceCtx(req.span)
 			if req.write {
-				lock := m.writeLock(f.Ino.Ino)
+				lock := m.writeLock(f.Ino)
 				lock.Acquire(p)
-				n, err = m.FS.WriteAt(p, f.Ino, req.off, req.buf)
+				n, err = u.pr.node.FS.WriteAt(p, f.Ino, req.off, req.buf)
 				m.syncGrowth(f.Ino)
 				lock.Release()
 			} else {
-				n, err = m.FS.ReadAt(p, f.Ino, req.off, req.buf)
+				n, err = u.pr.node.FS.ReadAt(p, f.Ino, req.off, req.buf)
 			}
 			p.SetTraceCtx(nil)
 		}

@@ -29,9 +29,10 @@ func NewGuestMachine(s *sim.Sim, cfg Config, host *Machine, vf *device.SSD, nest
 		Sim:         s,
 		CPU:         host.CPU, // guests timeshare the host's cores
 		Cfg:         cfg,
-		attachments: make(map[uint32][]*Attachment),
-		revoked:     make(map[uint32]bool),
-		writeLocks:  make(map[uint32]*sim.Resource),
+		nodeByDev:   make(map[uint8]*DevNode, 1),
+		attachments: make(map[inoKey][]*Attachment),
+		revoked:     make(map[inoKey]bool),
+		writeLocks:  make(map[inoKey]*sim.Resource),
 		nextPASID:   100,
 	}
 	m.Dev = vf
@@ -63,7 +64,13 @@ func NewGuestMachine(s *sim.Sim, cfg Config, host *Machine, vf *device.SSD, nest
 	if err != nil {
 		return nil, err
 	}
-	m.kq = &kernelQueue{m: m, q: q, waiters: make(map[uint16]*waiter)}
-	fs.SetBlockIO(&kernelBIO{m: m})
+	// The guest is a one-node topology over its VF; guest procs share
+	// the host's event shard (the VF is carved from the host device).
+	n := &DevNode{Index: 0, Dev: vf, FS: fs}
+	n.kq = &kernelQueue{m: m, n: n, q: q, waiters: make(map[uint16]*waiter)}
+	fs.SetBlockIO(&kernelBIO{m: m, n: n})
+	m.Nodes = []*DevNode{n}
+	m.nodeByDev[vf.Config().DevID] = n
+	m.kq = n.kq
 	return m, nil
 }

@@ -56,7 +56,7 @@ func (pr *Process) XRPChain(p *sim.Proc, fd int, off, length int64, buf []byte, 
 		bufOff := int64(0)
 		for _, s := range segs {
 			n := s.Sectors * storage.SectorSize
-			st := m.kq.submitRetry(p, nvme.SQE{
+			st := pr.node.kq.submitRetry(p, nvme.SQE{
 				Opcode:  nvme.OpRead,
 				SLBA:    s.Sector,
 				Sectors: s.Sectors,
@@ -64,7 +64,7 @@ func (pr *Process) XRPChain(p *sim.Proc, fd int, off, length int64, buf []byte, 
 			})
 			if !st.OK() {
 				return steps, fmt.Errorf("kernel: xrp read at sector %d on %s: %v",
-					s.Sector, m.Dev.Config().Name, st)
+					s.Sector, pr.node.Dev.Config().Name, st)
 			}
 			bufOff += n
 		}

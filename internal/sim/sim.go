@@ -16,6 +16,16 @@
 // goroutines in a free pool for reuse by later Spawns (no goroutine,
 // stack, or channel churn in steady state), and SpawnArg avoids the
 // per-spawn closure allocation on the device's per-command path.
+//
+// Multi-device topologies partition the event stream into shards
+// (DESIGN.md §14): each shard owns its own heap + staging lane, and
+// the scheduler pops the global minimum by the exact (at, seq) key
+// across shards — virtual-clock lockstep. Because seq is a single
+// global counter, the merged dispatch order is identical to a
+// single-queue scheduler's by construction, so sharding never changes
+// results; a noShard reference mode and a randomized equivalence
+// property test (shard_test.go) pin this the same way noLane pins the
+// staging lane.
 package sim
 
 import (
@@ -155,6 +165,55 @@ func releaseEventHeap(h eventHeap) {
 	heapPool.Put(&h)
 }
 
+// shard is one partition of the event stream: a heap for future posts
+// plus the same-instant staging lane, both ordered by the global
+// (at, seq) key. A single-device simulation has exactly one shard; a
+// topology gives each device its own via AddShard.
+type shard struct {
+	events  eventHeap
+	lane    []event
+	laneOff int
+}
+
+// peek reports the shard's earliest queued (at, seq), merging the
+// lane front against the heap top; ok is false when the shard is idle.
+func (sh *shard) peek() (at Time, seq uint64, ok bool) {
+	hasLane := sh.laneOff < len(sh.lane)
+	hasHeap := len(sh.events) > 0
+	if hasLane {
+		le := &sh.lane[sh.laneOff]
+		if !hasHeap || le.at < sh.events[0].at ||
+			(le.at == sh.events[0].at && le.seq < sh.events[0].seq) {
+			return le.at, le.seq, true
+		}
+	}
+	if hasHeap {
+		return sh.events[0].at, sh.events[0].seq, true
+	}
+	return 0, 0, false
+}
+
+// next pops the shard's earliest event by (at, seq); the shard must
+// not be idle.
+func (sh *shard) next() event {
+	if sh.laneOff < len(sh.lane) {
+		le := sh.lane[sh.laneOff]
+		// Lane entries hold at == now; only a heap entry at the same
+		// instant with an older seq may precede them.
+		if len(sh.events) == 0 || le.at < sh.events[0].at ||
+			(le.at == sh.events[0].at && le.seq < sh.events[0].seq) {
+			sh.lane[sh.laneOff] = event{} // release the closure/proc ref
+			sh.laneOff++
+			if sh.laneOff == len(sh.lane) {
+				sh.lane = sh.lane[:0]
+				sh.laneOff = 0
+			}
+			return le
+		}
+	}
+	return sh.events.pop()
+}
+
 // procState tracks where a Proc is in its lifecycle.
 type procState int
 
@@ -182,6 +241,10 @@ type Proc struct {
 	wake  chan struct{}
 	state procState
 	trace any
+
+	// shard is the event lane the proc's resumes route to, inherited
+	// from the spawning context (or pinned with SpawnOn).
+	shard int
 
 	// id is unique per logical spawn; gen increments on every recycle
 	// so resume events posted for a previous life are dropped.
@@ -225,25 +288,35 @@ type killed struct{}
 // Sim is a discrete-event simulation instance. The zero value is not
 // usable; construct with New.
 type Sim struct {
-	now    Time
-	seq    uint64
-	events eventHeap
+	now Time
+	// seq is the single global post counter. Every shard's events carry
+	// seqs from this one stream, which is what makes the cross-shard
+	// (at, seq) merge reproduce single-queue dispatch order exactly.
+	seq uint64
 
-	// lane is the same-instant staging FIFO in front of the heap:
-	// events posted at exactly the current virtual time append here in
-	// O(1) and pop in O(1), skipping both heap sifts. Because every
-	// lane entry carries at == now and a seq greater than anything
-	// posted before it, draining the lane front against the heap top by
+	// shards partitions the event stream; shards[0] always exists and
+	// is where everything routes in a single-device simulation. Each
+	// shard keeps the same-instant staging FIFO in front of its heap:
+	// events posted at exactly the current virtual time append in O(1)
+	// and pop in O(1), skipping both heap sifts. Because every lane
+	// entry carries at == now and a seq greater than anything posted
+	// before it, draining the lane front against the heap top by
 	// (at, seq) reproduces exact posted-order FIFO semantics — the
 	// property test in batch_test.go pins this against a heap-only
-	// reference scheduler. The lane empties before the clock advances
-	// (nothing can sort before an at == now entry), so entries never go
-	// stale. laneOff is the pop cursor; the slice recycles in place.
-	lane    []event
-	laneOff int
+	// reference scheduler. A lane empties before the clock advances
+	// (the global pop is the (at, seq) minimum, so the clock cannot
+	// pass a queued at == now entry), so entries never go stale.
+	shards []shard
+	// cur is the shard of the currently dispatching context: fn events
+	// post to it, and spawned procs inherit it as their affinity.
+	cur int
 	// noLane forces every post through the heap — the one-at-a-time
-	// reference dispatcher the equivalence test compares against.
+	// reference dispatcher the lane equivalence test compares against.
 	noLane bool
+	// noShard routes every post to shard 0 regardless of affinity —
+	// the single-queue reference dispatcher the shard equivalence test
+	// compares against.
+	noShard bool
 
 	yield chan struct{}
 	procs []*Proc
@@ -257,9 +330,10 @@ type Sim struct {
 	running bool
 }
 
-// New returns an empty simulation with the clock at zero.
+// New returns an empty simulation with the clock at zero and a single
+// event shard.
 func New() *Sim {
-	return &Sim{yield: make(chan struct{}), events: newEventHeap()}
+	return &Sim{yield: make(chan struct{}), shards: []shard{{events: newEventHeap()}}}
 }
 
 // Now returns the current virtual time.
@@ -270,70 +344,102 @@ func (s *Sim) Now() Time { return s.now }
 // report simulated events per wall second.
 func (s *Sim) Processed() uint64 { return s.processed }
 
-// enqueue routes one event to the staging lane (same-instant posts)
-// or the heap (future posts).
-func (s *Sim) enqueue(e event) {
-	if e.at == s.now && !s.noLane {
-		s.lane = append(s.lane, e)
-		return
-	}
-	s.events.push(e)
+// AddShard grows the topology by one event shard and returns its
+// index. Shard 0 exists from construction; a multi-device machine
+// adds one shard per additional device so each device's command
+// stream lives in its own lane, merged deterministically by (at, seq).
+func (s *Sim) AddShard() int {
+	s.shards = append(s.shards, shard{events: newEventHeap()})
+	return len(s.shards) - 1
 }
 
-// post schedules fn to run at time at. fn executes on the scheduler
-// goroutine; it must not block.
+// Shards reports the number of event shards.
+func (s *Sim) Shards() int { return len(s.shards) }
+
+// enqueue routes one event to the target shard's staging lane
+// (same-instant posts) or heap (future posts).
+func (s *Sim) enqueue(shardIdx int, e event) {
+	if s.noShard {
+		shardIdx = 0
+	}
+	sh := &s.shards[shardIdx]
+	if e.at == s.now && !s.noLane {
+		sh.lane = append(sh.lane, e)
+		return
+	}
+	sh.events.push(e)
+}
+
+// post schedules fn to run at time at on the current context's shard.
+// fn executes on the scheduler goroutine; it must not block.
 func (s *Sim) post(at Time, fn func()) {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: event posted in the past (%v < %v)", at, s.now))
 	}
 	s.seq++
-	s.enqueue(event{at: at, seq: s.seq, fn: fn})
+	s.enqueue(s.cur, event{at: at, seq: s.seq, fn: fn})
 }
 
 // postResume schedules p to be resumed at time at without allocating a
-// closure. Ordering is identical to post: the shared seq counter keeps
-// resume and function events in one posted-order stream.
+// closure, on p's shard. Ordering is identical to post: the shared seq
+// counter keeps resume and function events in one posted-order stream.
 func (s *Sim) postResume(at Time, p *Proc) {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: event posted in the past (%v < %v)", at, s.now))
 	}
 	s.seq++
-	s.enqueue(event{at: at, seq: s.seq, p: p, pgen: p.gen})
+	s.enqueue(p.shard, event{at: at, seq: s.seq, p: p, pgen: p.gen})
 }
 
-// pending reports whether any event is queued in the lane or the heap.
+// pending reports whether any event is queued in any shard.
 func (s *Sim) pending() bool {
-	return s.laneOff < len(s.lane) || len(s.events) > 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		if sh.laneOff < len(sh.lane) || len(sh.events) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // peekAt returns the timestamp of the earliest queued event; pending
 // must be true.
 func (s *Sim) peekAt() Time {
-	if s.laneOff < len(s.lane) {
-		return s.lane[s.laneOff].at // == s.now, earliest by construction
-	}
-	return s.events[0].at
-}
-
-// next pops the earliest event by (at, seq), merging the staging lane
-// with the heap; pending must be true.
-func (s *Sim) next() event {
-	if s.laneOff < len(s.lane) {
-		le := s.lane[s.laneOff]
-		// Lane entries hold at == now; only a heap entry at the same
-		// instant with an older seq may precede them.
-		if len(s.events) == 0 || le.at < s.events[0].at ||
-			(le.at == s.events[0].at && le.seq < s.events[0].seq) {
-			s.lane[s.laneOff] = event{} // release the closure/proc ref
-			s.laneOff++
-			if s.laneOff == len(s.lane) {
-				s.lane = s.lane[:0]
-				s.laneOff = 0
+	best := Time(0)
+	var bestSeq uint64
+	found := false
+	for i := range s.shards {
+		if at, seq, ok := s.shards[i].peek(); ok {
+			if !found || at < best || (at == best && seq < bestSeq) {
+				best, bestSeq, found = at, seq, true
 			}
-			return le
 		}
 	}
-	return s.events.pop()
+	return best
+}
+
+// next pops the globally earliest event by (at, seq) across shards and
+// records its shard as the current dispatch context; pending must be
+// true. With one shard this is the historical single-queue pop.
+func (s *Sim) next() event {
+	if len(s.shards) == 1 {
+		s.cur = 0
+		return s.shards[0].next()
+	}
+	best := -1
+	var bAt Time
+	var bSeq uint64
+	for i := range s.shards {
+		at, seq, ok := s.shards[i].peek()
+		if !ok {
+			continue
+		}
+		if best < 0 || at < bAt || (at == bAt && seq < bSeq) {
+			best, bAt, bSeq = i, at, seq
+		}
+	}
+	s.cur = best
+	return s.shards[best].next()
 }
 
 // dispatch runs one event.
@@ -357,9 +463,24 @@ func (s *Sim) At(at Time, fn func()) { s.post(at, fn) }
 func (s *Sim) After(d Time, fn func()) { s.post(s.now+d, fn) }
 
 // Spawn creates a proc that begins executing fn at the current virtual
-// time. It may be called before Run or from inside a running proc.
+// time. It may be called before Run or from inside a running proc. The
+// proc inherits the spawning context's shard.
 func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
 	return s.SpawnAt(s.now, name, fn)
+}
+
+// SpawnOn is Spawn with an explicit shard affinity: the proc's resume
+// events route through that shard's lane. Topology boot pins each
+// device's procs (and their tenants' workers) to the device's shard.
+func (s *Sim) SpawnOn(shardIdx int, name string, fn func(p *Proc)) *Proc {
+	if shardIdx < 0 || shardIdx >= len(s.shards) {
+		panic(fmt.Sprintf("sim: SpawnOn shard %d of %d", shardIdx, len(s.shards)))
+	}
+	p := s.allocProc(s.now, name)
+	p.shard = shardIdx
+	p.fn = fn
+	s.postResume(s.now, p)
+	return p
 }
 
 // SpawnAt creates a proc that begins executing fn at virtual time at.
@@ -396,6 +517,7 @@ func (s *Sim) allocProc(at Time, name string) *Proc {
 		s.procs = append(s.procs, p)
 		go s.procLoop(p)
 	}
+	p.shard = s.cur
 	s.nextProcID++
 	p.id = s.nextProcID
 	return p
@@ -547,15 +669,18 @@ func (s *Sim) RunUntil(t Time) int {
 // functions, or Shutdown will deadlock.
 func (s *Sim) Shutdown() {
 	s.killing = true
-	if s.events != nil {
-		releaseEventHeap(s.events)
-		s.events = nil
+	for si := range s.shards {
+		sh := &s.shards[si]
+		if sh.events != nil {
+			releaseEventHeap(sh.events)
+			sh.events = nil
+		}
+		for i := range sh.lane {
+			sh.lane[i] = event{}
+		}
+		sh.lane = sh.lane[:0]
+		sh.laneOff = 0
 	}
-	for i := range s.lane {
-		s.lane[i] = event{}
-	}
-	s.lane = s.lane[:0]
-	s.laneOff = 0
 	s.free = nil
 	for _, p := range s.procs {
 		if p.state == procParked || p.state == procNew || p.state == procIdle {

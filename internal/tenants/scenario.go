@@ -86,6 +86,47 @@ func SLOLoad(engine core.Engine, tenants int, totalRate float64, opsPer int) Sce
 	return sc
 }
 
+// ScaleOut builds the T9 weak-scaling scenario: every device gets one
+// latency-sensitive 4 KiB victim and one large-block bandwidth hog.
+// Tenant order interleaves with the round-robin striping so tenant d
+// (victim) and tenant devices+d (hog) both land on device d. Aggregate
+// throughput should scale with the device count while each victim's
+// tail stays flat: the fleet shares an IOMMU and the host CPUs, but
+// queues, arbitration, and media are per-device.
+func ScaleOut(devices, victimOps, hogOps int) Scenario {
+	sc := Scenario{
+		Name:    fmt.Sprintf("scale-out-%d", devices),
+		Arbiter: "wrr",
+		Devices: devices,
+	}
+	for d := 0; d < devices; d++ {
+		sc.Tenants = append(sc.Tenants, Tenant{
+			Name:      fmt.Sprintf("victim%d", d),
+			Engine:    core.EngineBypassD,
+			RateOps:   20_000,
+			Ops:       victimOps,
+			BS:        4096,
+			FileBytes: 8 << 20,
+			QD:        2,
+			QoS:       nvme.QoS{Weight: 16, Priority: 0},
+			SLO:       30 * sim.Microsecond,
+		})
+	}
+	for d := 0; d < devices; d++ {
+		sc.Tenants = append(sc.Tenants, Tenant{
+			Name:      fmt.Sprintf("hog%d", d),
+			Engine:    core.EngineBypassD,
+			RateOps:   60_000,
+			Ops:       hogOps,
+			BS:        64 << 10,
+			FileBytes: 16 << 20,
+			QD:        4,
+			QoS:       nvme.QoS{Weight: 1, Priority: 1},
+		})
+	}
+	return sc
+}
+
 // Builtins lists the named scenarios bypassd-bench can run directly.
 func Builtins() []Scenario {
 	return []Scenario{

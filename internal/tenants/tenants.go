@@ -58,10 +58,10 @@ type Tenant struct {
 	Name   string      `json:"name"`
 	Engine core.Engine `json:"engine"`
 
-	Arrival   Arrival  `json:"arrival,omitempty"`   // default Poisson
-	RateOps   float64  `json:"rate_ops"`            // offered load, requests/sec
-	Ops       int      `json:"ops"`                 // arrivals to generate
-	BS        int      `json:"bs"`                  // request size, bytes
+	Arrival   Arrival  `json:"arrival,omitempty"` // default Poisson
+	RateOps   float64  `json:"rate_ops"`          // offered load, requests/sec
+	Ops       int      `json:"ops"`               // arrivals to generate
+	BS        int      `json:"bs"`                // request size, bytes
 	WriteFrac float64  `json:"write_frac,omitempty"`
 	FileBytes int64    `json:"file_bytes"`
 	QD        int      `json:"qd,omitempty"` // service contexts; default 1
@@ -73,11 +73,30 @@ type Tenant struct {
 type Scenario struct {
 	Name string `json:"name"`
 	// Arbiter selects the device arbitration policy: "rr" (default),
-	// "wrr", or "prio" (see device.ArbiterByName).
-	Arbiter  string   `json:"arbiter,omitempty"`
-	Capacity int64    `json:"capacity,omitempty"` // device bytes; 0 = auto
-	Tenants  []Tenant `json:"tenants"`
+	// "wrr", or "prio" (see device.ArbiterByName); every device of the
+	// topology runs the same policy.
+	Arbiter  string `json:"arbiter,omitempty"`
+	Capacity int64  `json:"capacity,omitempty"` // per-device bytes; 0 = auto
+	// Devices is the number of SSDs in the machine (0 or 1 = the
+	// single-device machine every earlier scenario ran on). Tenants
+	// stripe across devices round-robin by tenant index; each device
+	// gets its own file system, queues, and arbiter instance.
+	Devices int      `json:"devices,omitempty"`
+	Tenants []Tenant `json:"tenants"`
 }
+
+// NumDevices is the scenario's device count with the default made
+// explicit.
+func (sc Scenario) NumDevices() int {
+	if sc.Devices < 1 {
+		return 1
+	}
+	return sc.Devices
+}
+
+// placement maps a tenant index to its device node: round-robin
+// striping, the deterministic tenant → device policy.
+func (sc Scenario) placement(ti int) int { return ti % sc.NumDevices() }
 
 // Result aggregates one tenant's run.
 type Result struct {
@@ -188,26 +207,45 @@ func RunCounted(seed int64, sc Scenario) ([]*Result, uint64, error) {
 	if len(sc.Tenants) == 0 {
 		return nil, 0, fmt.Errorf("tenants: scenario %q has no tenants", sc.Name)
 	}
+	ndev := sc.NumDevices()
 	for i := range sc.Tenants {
 		if err := sc.Tenants[i].validate(); err != nil {
 			return nil, 0, err
 		}
+		if ndev > 1 && sc.Tenants[i].Engine == core.EngineSPDK {
+			// SPDK claims a device exclusively through the node-0
+			// driver; it has no multi-device story here.
+			return nil, 0, fmt.Errorf("tenants: %s: SPDK tenants need a single-device scenario", sc.Tenants[i].Name)
+		}
 	}
 	capacity := sc.Capacity
 	if capacity == 0 {
-		var need int64 = 64 << 20
-		for _, t := range sc.Tenants {
-			need += t.FileBytes
+		// Auto-size every device to the largest per-device demand so
+		// striping never changes a tenant's file layout headroom. At
+		// one device this is exactly the historical sum-of-all formula.
+		var need int64
+		for d := 0; d < ndev; d++ {
+			var devNeed int64 = 64 << 20
+			for ti, t := range sc.Tenants {
+				if sc.placement(ti) == d {
+					devNeed += t.FileBytes
+				}
+			}
+			if devNeed > need {
+				need = devNeed
+			}
 		}
 		capacity = need*3/2 + (64 << 20)
 		capacity = (capacity + storage.SectorSize - 1) &^ (storage.SectorSize - 1)
 	}
-	sys, err := core.New(capacity)
+	sys, err := core.NewN(capacity, ndev)
 	if err != nil {
 		return nil, 0, err
 	}
 	defer sys.Close()
-	sys.M.Dev.SetArbiter(device.ArbiterByName(sc.Arbiter))
+	for _, n := range sys.M.Nodes {
+		n.Dev.SetArbiter(device.ArbiterByName(sc.Arbiter))
+	}
 
 	results := make([]*Result, len(sc.Tenants))
 	procs := make([]*kernel.Process, len(sc.Tenants))
@@ -222,26 +260,36 @@ func RunCounted(seed int64, sc Scenario) ([]*Result, uint64, error) {
 	}
 
 	sys.Sim.Spawn("tenants-setup", func(p *sim.Proc) {
-		root := sys.NewProcess(ext4.Root)
-		if err := root.Mkdir(p, "/tenants", 0o777); err != nil {
-			fail(err)
-			return
-		}
-		for ti := range sc.Tenants {
-			t := &sc.Tenants[ti]
-			if err := fio.SetupFile(p, sys, root, tenantPath(ti), t.Engine, t.FileBytes); err != nil {
+		// One superuser process per device: a process's file-system
+		// view is its node's mount, so each device gets its own
+		// /tenants tree. At one device this is the historical setup
+		// sequence, event for event.
+		roots := make([]*kernel.Process, ndev)
+		for d := 0; d < ndev; d++ {
+			roots[d] = sys.NewProcessOn(ext4.Root, d)
+			if err := roots[d].Mkdir(p, "/tenants", 0o777); err != nil {
 				fail(err)
 				return
 			}
 		}
-		if err := root.Sync(p); err != nil {
-			fail(err)
-			return
+		for ti := range sc.Tenants {
+			t := &sc.Tenants[ti]
+			if err := fio.SetupFile(p, sys, roots[sc.placement(ti)], tenantPath(ti), t.Engine, t.FileBytes); err != nil {
+				fail(err)
+				return
+			}
+		}
+		for d := 0; d < ndev; d++ {
+			if err := roots[d].Sync(p); err != nil {
+				fail(err)
+				return
+			}
 		}
 		for ti := range sc.Tenants {
 			// Each tenant is its own process: own address space, own
-			// PASID, own QoS class on every queue it registers.
-			pr := sys.NewProcess(ext4.Root)
+			// PASID, own QoS class on every queue it registers — bound
+			// to the device the striping policy placed it on.
+			pr := sys.NewProcessOn(ext4.Root, sc.placement(ti))
 			pr.QoS = sc.Tenants[ti].QoS
 			procs[ti] = pr
 			startTenant(sys, pr, &sc.Tenants[ti], ti, seed, results[ti], fail)
@@ -262,8 +310,11 @@ func RunCounted(seed int64, sc Scenario) ([]*Result, uint64, error) {
 func tenantPath(ti int) string { return fmt.Sprintf("/tenants/t%d", ti) }
 
 // startTenant spawns one tenant's generator and its QD service
-// workers on the scenario's simulation.
+// workers on the scenario's simulation. The tenant's procs run on its
+// device's event shard, keeping each device's whole stream — arrivals,
+// submissions, completions — in one lane of the deterministic merge.
 func startTenant(sys *core.System, pr *kernel.Process, t *Tenant, ti int, seed int64, res *Result, fail func(error)) {
+	shard := sys.M.Nodes[pr.Node()].Shard
 	st := &tenantState{more: sys.Sim.NewCond()}
 	path := tenantPath(ti)
 	writable := t.WriteFrac > 0
@@ -275,7 +326,7 @@ func startTenant(sys *core.System, pr *kernel.Process, t *Tenant, ti int, seed i
 	mMiss := metrics.GetCounter("tenant_slo_miss_total", "tenant", t.Name)
 	mSojourn := metrics.GetHistogram("tenant_sojourn_ns", "tenant", t.Name)
 
-	sys.Sim.Spawn("tenant-gen-"+t.Name, func(g *sim.Proc) {
+	sys.Sim.SpawnOn(shard, "tenant-gen-"+t.Name, func(g *sim.Proc) {
 		// One stream per tenant, drawn only here: arrival instants and
 		// request contents never depend on service order.
 		rng := rand.New(rand.NewSource(seed*7919 + int64(ti)*104729 + 17))
@@ -314,7 +365,7 @@ func startTenant(sys *core.System, pr *kernel.Process, t *Tenant, ti int, seed i
 	})
 
 	for wi := 0; wi < qd; wi++ {
-		sys.Sim.Spawn(fmt.Sprintf("tenant-%s-w%d", t.Name, wi), func(w *sim.Proc) {
+		sys.Sim.SpawnOn(shard, fmt.Sprintf("tenant-%s-w%d", t.Name, wi), func(w *sim.Proc) {
 			abort := func(err error) {
 				fail(err)
 				st.abort = true

@@ -174,7 +174,7 @@ func New(pr *kernel.Process, cfg Config) *Lib {
 }
 
 // devName names the device the library talks to (error context).
-func (l *Lib) devName() string { return l.Proc.M.Dev.Config().Name }
+func (l *Lib) devName() string { return l.Proc.Dev().Config().Name }
 
 // Thread is per-application-thread state: a private queue pair and
 // DMA buffer, so threads never contend on the data path. In the
