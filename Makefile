@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 FUZZ_TARGETS := ./internal/ext4:FuzzExtentTree ./internal/ext4:FuzzRename ./internal/experiments:FuzzReproSpec
 
-.PHONY: all build test race vet bench bench-json bench-check profile fuzz check trace-smoke repro-smoke topology-smoke clean
+.PHONY: all build test race vet bench bench-json bench-check parallel-equivalence profile fuzz check trace-smoke repro-smoke topology-smoke clean
 
 # The benchmarks the committed snapshot and the throughput gate track:
 # the Fig. 6/9 harnesses, the headline 4 KiB read (steady-state and
@@ -32,13 +32,13 @@ bench:
 # bench-json regenerates the committed benchmark snapshot: the
 # Fig. 6/9 harnesses, the headline 4 KiB read, and the throughput
 # family (single-queue, traced, tenant storm, and the four-SSD
-# sharded core) with its events/sec and wall-ns-per-virtual-ns
-# metrics. Set BASELINE=<old bench output file> to embed a
-# before/after pair.
+# sharded core at 1 and 4 workers) with its events/sec,
+# wall-ns-per-event, and wall-ns-per-virtual-ns metrics. Set
+# BASELINE=<old bench output file> to embed a before/after pair.
 bench-json:
 	$(GO) test -bench '$(GATE_BENCH)' -benchmem -run '^$$' . \
-		| $(GO) run ./cmd/benchjson $(if $(BASELINE),-baseline $(BASELINE)) -o BENCH_PR8.json
-	@echo wrote BENCH_PR8.json
+		| $(GO) run ./cmd/benchjson $(if $(BASELINE),-baseline $(BASELINE)) -o BENCH_PR9.json
+	@echo wrote BENCH_PR9.json
 
 # bench-check is the performance regression gate, in three parts:
 #  1. allocation budgets — a steady-state 4 KiB BypassD read must stay
@@ -46,16 +46,31 @@ bench-json:
 #     its budget (Test*AllocBudget), with every arbiter's steady-state
 #     grant allocation-free (TestArbiterZeroAllocHotPath);
 #  2. throughput — the gated benchmarks must stay within 25% of the
-#     committed BENCH_PR8.json ns/op (benchjson -check, which takes
+#     committed BENCH_PR9.json ns/op (benchjson -check, which takes
 #     the min over -count 3 repetitions; min-of-N plus the tolerance
 #     absorbs host noise, so only real regressions fail);
+#  3. parallel speedup — the four-SSD sharded storm at -workers 4 must
+#     beat -workers 1 by >= 2.5x on events/sec (benchjson -speedup).
+#     On hosts with fewer than 4 CPUs the speedup floor is skipped
+#     with a printed notice: one core cannot express parallelism, and
+#     the worker-invariance tests still pin correctness there.
 # Opt-in pieces use BENCH_CHECK=1 so ordinary test runs never flake on
 # cross-test allocation noise.
 bench-check:
 	BENCH_CHECK=1 $(GO) test -run 'AllocBudget' -count=1 -v .
 	$(GO) test -run TestArbiterZeroAllocHotPath -count=1 -v ./internal/device
 	$(GO) test -bench '$(GATE_BENCH)' -benchmem -benchtime 5x -count 3 -run '^$$' . \
-		| $(GO) run ./cmd/benchjson -check BENCH_PR8.json
+		| $(GO) run ./cmd/benchjson -check BENCH_PR9.json \
+			-speedup 'SimThroughputSharded/w4:SimThroughputSharded/w1:2.5'
+
+# parallel-equivalence is the tentpole determinism gate under the race
+# detector: 20-seed randomized per-shard stream equivalence at workers
+# {2,4,8}, plus the T7/T8/T9 report and full-metrics invariance across
+# worker counts. Any data race in the epoch engine or any cross-worker
+# divergence fails this target.
+parallel-equivalence:
+	$(GO) test -race -count=1 -run 'ParallelEquivalence|EpochSequential|EpochLookahead' ./internal/sim
+	$(GO) test -race -count=1 -run 'WorkerInvariant' ./internal/experiments
 
 # profile writes host CPU and allocation profiles of the Fig. 6
 # harness (the heaviest sweep) for `go tool pprof`. Separate runs:
@@ -114,9 +129,9 @@ topology-smoke:
 
 # check is the default gate: build, vet, full tests (including the
 # statistical tail-claim gates), the race detector over the whole
-# tree, the allocation-budget gate, the repro-tool round trip, and
-# the 2-device topology smoke.
-check: build vet test race bench-check repro-smoke topology-smoke
+# tree, the allocation-budget gate, the parallel determinism gate,
+# the repro-tool round trip, and the 2-device topology smoke.
+check: build vet test race bench-check parallel-equivalence repro-smoke topology-smoke
 
 clean:
 	$(GO) clean ./...

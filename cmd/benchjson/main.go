@@ -11,7 +11,9 @@
 // custom b.ReportMetric units such as virtual-ns/op. When a benchmark
 // reports both ns/op and virtual-ns/op, the derived metric
 // wall-ns-per-virtual-ns (host nanoseconds spent per simulated
-// nanosecond — the simulator's slowdown factor) is added.
+// nanosecond — the simulator's slowdown factor) is added; when it
+// reports events/sec, wall-ns-per-event (its reciprocal) is added so
+// dispatch cost diffs in the same units as ns/op.
 //
 // The optional -baseline flag parses a second bench-output file and
 // embeds it under "baseline" so one committed file carries the
@@ -134,7 +136,81 @@ func parseBenchLine(line string) (benchLine, bool) {
 			bl.Metrics["wall-ns-per-virtual-ns"] = wall / virt
 		}
 	}
+	// Derived: host nanoseconds per dispatched simulator event — the
+	// reciprocal of events/sec, in units that diff cleanly against
+	// ns/op. This is the number the parallel dispatcher moves: more
+	// workers, fewer wall-ns per event, same events.
+	if eps, ok := bl.Metrics["events/sec"]; ok && eps > 0 {
+		bl.Metrics["wall-ns-per-event"] = 1e9 / eps
+	}
 	return bl, true
+}
+
+// checkSpeedup enforces a parallel-speedup floor between two
+// benchmarks of one run: spec is "numerator:denominator:min", e.g.
+// "SimThroughputSharded/w4:SimThroughputSharded/w1:2.5". Speedup is
+// measured on events/sec when both sides report it (ns/op otherwise),
+// with min-ns/op / max-events-sec over repeated lines. The assertion
+// only means something when the host has cores for the workers to
+// land on, so on hosts with fewer than minCores CPUs the check prints
+// a notice and passes vacuously — the determinism gates still run
+// there; the speedup gate is for multi-core CI and dev machines.
+func checkSpeedup(w io.Writer, cur benchRun, spec string, minCores int) int {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		fmt.Fprintf(w, "  SKIP  -speedup %q: want numerator:denominator:min\n", spec)
+		return 1
+	}
+	min, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		fmt.Fprintf(w, "  SKIP  -speedup %q: bad minimum: %v\n", spec, err)
+		return 1
+	}
+	if n := runtime.NumCPU(); n < minCores {
+		fmt.Fprintf(w, "  SKIP  speedup %s vs %s: host has %d CPU(s), need >= %d to express parallel speedup; gate passes vacuously\n",
+			parts[0], parts[1], n, minCores)
+		return 0
+	}
+	pick := func(name string) (benchLine, bool) {
+		var best benchLine
+		found := false
+		for _, b := range cur.Benchmarks {
+			if b.Name != name {
+				continue
+			}
+			if !found || b.Metrics["ns/op"] < best.Metrics["ns/op"] {
+				best = b
+			}
+			found = true
+		}
+		return best, found
+	}
+	num, okN := pick(parts[0])
+	den, okD := pick(parts[1])
+	if !okN || !okD {
+		fmt.Fprintf(w, "  FAIL  speedup %s vs %s: benchmark missing from run\n", parts[0], parts[1])
+		return 1
+	}
+	var ratio float64
+	basis := "events/sec"
+	if ne, de := num.Metrics["events/sec"], den.Metrics["events/sec"]; ne > 0 && de > 0 {
+		ratio = ne / de
+	} else if nn, dn := num.Metrics["ns/op"], den.Metrics["ns/op"]; nn > 0 && dn > 0 {
+		basis = "ns/op"
+		ratio = dn / nn
+	} else {
+		fmt.Fprintf(w, "  FAIL  speedup %s vs %s: no comparable metric\n", parts[0], parts[1])
+		return 1
+	}
+	status := "ok"
+	fails := 0
+	if ratio < min {
+		status = "FAIL"
+		fails = 1
+	}
+	fmt.Fprintf(w, "  %-5s speedup %s vs %s: %.2fx on %s (floor %.2fx)\n",
+		status, parts[0], parts[1], ratio, basis, min)
+	return fails
 }
 
 // checkAgainst compares cur to the committed snapshot, enforcing the
@@ -201,6 +277,8 @@ func run() int {
 		baseline  = flag.String("baseline", "", "optional prior `go test -bench` text output to embed under \"baseline\"")
 		checkPath = flag.String("check", "", "committed snapshot JSON to gate ns/op against; exits 1 on regression beyond -tolerance")
 		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression in -check mode")
+		speedup   = flag.String("speedup", "", "in -check mode, also enforce 'numerator:denominator:min' parallel speedup between two benchmarks of this run (skipped below -speedup-cores host CPUs)")
+		minCores  = flag.Int("speedup-cores", 4, "host CPUs required before the -speedup floor is enforced rather than skipped")
 	)
 	flag.Parse()
 
@@ -221,7 +299,11 @@ func run() int {
 			return 1
 		}
 		fmt.Printf("benchjson: checking against %s\n", *checkPath)
-		if n := checkAgainst(os.Stdout, cur, snap, *tolerance); n > 0 {
+		n := checkAgainst(os.Stdout, cur, snap, *tolerance)
+		if *speedup != "" {
+			n += checkSpeedup(os.Stdout, cur, *speedup, *minCores)
+		}
+		if n > 0 {
 			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond tolerance\n", n)
 			return 1
 		}

@@ -5,6 +5,7 @@
 //	bypassd-bench -run F6,F9      # selected experiments
 //	bypassd-bench -trials 5       # 5 seeded trials per cell: mean ± 95% CI columns
 //	bypassd-bench -j 8            # run experiments and sweep cells in parallel
+//	bypassd-bench -workers 4      # host cores per multi-SSD cell (epoch engine)
 //	bypassd-bench -list           # show the experiment index
 //	bypassd-bench -o results.md   # also write a markdown report
 //	bypassd-bench -json run.json  # machine-readable per-experiment results
@@ -69,7 +70,7 @@ func main() {
 // JSON config file — and prints its per-tenant table. Like the
 // experiment path, the table goes to stdout and is deterministic for
 // a fixed seed; progress goes to stderr.
-func runTenants(nameOrPath string, seed int64, devices int, faultsP, out string) int {
+func runTenants(nameOrPath string, seed int64, devices, shardWorkers int, faultsP, out string) int {
 	sc, ok := tenants.ByName(nameOrPath)
 	if !ok {
 		var err error
@@ -93,7 +94,7 @@ func runTenants(nameOrPath string, seed int64, devices int, faultsP, out string)
 	fmt.Fprintf(os.Stderr, "== running tenant scenario %s (%d tenants, %d device(s), arbiter %s, seed %d)\n",
 		sc.Name, len(sc.Tenants), sc.NumDevices(), sc.ArbiterName(), seed)
 	start := time.Now()
-	results, err := tenants.Run(seed, sc)
+	results, err := tenants.RunWorkers(seed, sc, shardWorkers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "scenario %s: %v\n", sc.Name, err)
 		return 1
@@ -120,6 +121,7 @@ func run() int {
 		seed     = flag.Int64("seed", 1, "workload seed")
 		trials   = flag.Int("trials", 1, "independent seeded trials per sweep cell; >1 adds mean±95% CI and spread columns")
 		parallel = flag.Int("j", 1, "worker count for experiments and sweep cells; 0 = GOMAXPROCS")
+		shardW   = flag.Int("workers", 1, "host goroutines per multi-SSD scenario's event shards (conservative epoch engine; results are byte-identical at any value)")
 		out      = flag.String("o", "", "also write the combined report to this file")
 		jsonOut  = flag.String("json", "", "write machine-readable results to this file")
 		faultsP  = flag.String("faults", "", "fault-injection profile name (see -list); empty = disabled")
@@ -179,7 +181,7 @@ func run() int {
 	}
 
 	if *tenantsF != "" {
-		return runTenants(*tenantsF, *seed, *devices, *faultsP, *out)
+		return runTenants(*tenantsF, *seed, *devices, *shardW, *faultsP, *out)
 	}
 
 	if *faultsP != "" {
@@ -218,7 +220,7 @@ func run() int {
 		metrics.Activate()
 	}
 
-	opts := experiments.Options{Quick: !*full, Seed: *seed, Parallelism: workers, Faults: *faultsP, Trials: *trials, Devices: *devices}
+	opts := experiments.Options{Quick: !*full, Seed: *seed, Parallelism: workers, Faults: *faultsP, Trials: *trials, Devices: *devices, Workers: *shardW}
 	mode := "quick"
 	if *full {
 		mode = "full (paper-scale)"

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/device"
 	"repro/internal/ext4"
@@ -41,8 +42,12 @@ type System struct {
 	Sim *sim.Sim
 	M   *kernel.Machine
 
-	libs map[*kernel.Process]*userlib.Lib
-	spdk *spdk.Driver
+	// libsMu guards libs: per-tenant workers on different event
+	// shards create their libraries concurrently at the start of an
+	// armed (parallel) traffic phase.
+	libsMu sync.Mutex
+	libs   map[*kernel.Process]*userlib.Lib
+	spdk   *spdk.Driver
 
 	// ownStore marks a system booted on a fresh store (not a caller's
 	// prebuilt image); only then may Close recycle the chunks.
@@ -126,6 +131,8 @@ func (sys *System) NewProcessOn(cred ext4.Cred, devIdx int) *kernel.Process {
 // Lib returns the process's UserLib instance, creating it on first
 // use (one shim library per process, shared by its threads).
 func (sys *System) Lib(pr *kernel.Process) *userlib.Lib {
+	sys.libsMu.Lock()
+	defer sys.libsMu.Unlock()
 	l, ok := sys.libs[pr]
 	if !ok {
 		l = userlib.New(pr, userlib.DefaultConfig())

@@ -194,7 +194,7 @@ func NewWithStore(s *sim.Sim, cfg Config, st *storage.Store) *SSD {
 		store:         st,
 		arrival:       s.NewCond(),
 		arb:           NewFlatRR(),
-		channels:      s.NewResource(cfg.Name+"-channels", cfg.Channels),
+		channels:      s.NewResourceOn(cfg.Shard, cfg.Name+"-channels", cfg.Channels),
 		writesDrained: s.NewCond(),
 		opsByQ:        make(map[int]int64),
 	}
@@ -409,9 +409,9 @@ func (d *SSD) arbitrate() (command, bool, sim.Time) {
 			// Concrete-type fast path for the default policy: this runs
 			// once per admitted command, and the interface dispatch (plus
 			// the inlining it blocks) is measurable at Fig. 9 rates.
-			idx, ok, retryAt = d.arbRR.Next(d.sim.Now(), d.queues)
+			idx, ok, retryAt = d.arbRR.Next(d.now(), d.queues)
 		} else {
-			idx, ok, retryAt = d.arb.Next(d.sim.Now(), d.queues)
+			idx, ok, retryAt = d.arb.Next(d.now(), d.queues)
 		}
 		if !ok {
 			return command{}, false, retryAt
@@ -434,13 +434,18 @@ func (d *SSD) scheduleWake(t sim.Time) {
 		return
 	}
 	d.wakeAt = t
-	d.sim.At(t, func() {
+	d.sim.AtOn(d.cfg.Shard, t, func() {
 		if d.wakeAt == t {
 			d.wakeAt = 0
 		}
 		d.arrival.Broadcast()
 	})
 }
+
+// now is the device's local virtual time: its shard's clock. Under
+// the coupled scheduler this equals the global clock; in a parallel
+// epoch it is the correct per-device time.
+func (d *SSD) now() sim.Time { return d.sim.ShardNow(d.cfg.Shard) }
 
 // dispatch is the device's command-fetch engine: admit one command at
 // a time, each onto a free internal channel.
@@ -462,7 +467,7 @@ func (d *SSD) dispatch(p *sim.Proc) {
 		d.channels.Acquire(p)
 		cb := d.getCmd()
 		*cb = cmd
-		d.sim.SpawnArg(d.chanName, d.serveFn, cb)
+		p.SpawnArg(d.chanName, d.serveFn, cb)
 	}
 }
 

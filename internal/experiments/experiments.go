@@ -52,6 +52,22 @@ type Options struct {
 	// columns. Trials share the Parallelism worker pool with sweep
 	// cells, and reports stay byte-identical at any -j.
 	Trials int
+	// Workers sets how many host goroutines execute the event shards
+	// of each multi-device scenario's traffic phase (the simulator's
+	// conservative epoch engine; DESIGN.md §15). It is orthogonal to
+	// Parallelism: Parallelism runs whole sweep cells concurrently,
+	// Workers parallelizes the inside of one multi-device cell.
+	// Results are byte-identical at any value; <= 1 runs the epoch
+	// schedule on one goroutine. Single-device cells ignore it.
+	Workers int
+}
+
+// workers normalizes the Workers option.
+func (o Options) workers() int {
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
 }
 
 // Report is an experiment's output.

@@ -113,7 +113,7 @@ func gateT7Arbiter(o Options) (*GateResult, error) {
 	pts, err := trialMap(o, len(arbs), func(i int, seed int64) (float64, error) {
 		sc := tenants.NoisyNeighbor(arbs[i], hogs, victimOps, hogOps)
 		sc.Tenants[0].Engine = core.EngineBypassD
-		res, err := tenants.Run(seed, sc)
+		res, err := tenants.RunWorkers(seed, sc, o.workers())
 		if err != nil {
 			return 0, err
 		}
@@ -148,7 +148,7 @@ func gateT8Knee(o Options) (*GateResult, error) {
 	engines := []core.Engine{core.EngineSync, core.EngineBypassD}
 	pts, err := trialMap(o, len(engines), func(i int, seed int64) (float64, error) {
 		sc := tenants.SLOLoad(engines[i], nTenants, frac*optaneIOPS, opsPer)
-		res, err := tenants.Run(seed, sc)
+		res, err := tenants.RunWorkers(seed, sc, o.workers())
 		if err != nil {
 			return 0, err
 		}

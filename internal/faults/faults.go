@@ -144,6 +144,13 @@ func NewInjector(seed int64, rules []Rule) *Injector {
 	return inj
 }
 
+// Active reports whether the injector carries any rules. An inactive
+// injector's Fire path reads no mutable state (decide's rule loop is
+// empty), so it is safe to call from parallel shard workers; harnesses
+// consult Active to fall back to sequential dispatch when a fault
+// profile is armed, since rule bookkeeping and the PRNG are shared.
+func (inj *Injector) Active() bool { return inj != nil && len(inj.rules) > 0 }
+
 // decide runs the (site, queue) decision against every rule in order
 // and returns the first firing rule. PRNG draws happen only for
 // probability rules that match the site, keeping the stream

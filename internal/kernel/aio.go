@@ -128,7 +128,7 @@ func (c *AioContext) Submit(p *sim.Proc, ops []AioOp) error {
 		// The span belongs to the submitting proc; capture it here so
 		// the helper proc's submissions mark the right request.
 		req.sp = trace.SpanFrom(p)
-		pr.M.Sim.SpawnArg("aio-op", aioRun, req)
+		p.SpawnArg("aio-op", aioRun, req)
 	}
 	return nil
 }

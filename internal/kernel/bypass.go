@@ -39,7 +39,9 @@ func (pr *Process) AllocDMABuffer(p *sim.Proc, size int) []byte {
 	pr.M.CPU.Compute(p, 1*sim.Microsecond)
 	buf := device.GetDMABuf(size)
 	// Track for recycling at machine teardown (core.System.Close).
+	pr.M.mu.Lock()
 	pr.M.dmaBufs = append(pr.M.dmaBufs, buf)
+	pr.M.mu.Unlock()
 	return buf
 }
 
@@ -98,7 +100,10 @@ func (pr *Process) Fmap(p *sim.Proc, fd int) (uint64, error) {
 	defer pr.exit(p)
 
 	in := f.Ino
-	if m.revoked[ikey(in)] || in.KernelOpens > 0 {
+	m.mu.Lock()
+	rev := m.revoked[ikey(in)]
+	m.mu.Unlock()
+	if rev || in.KernelOpens > 0 {
 		return 0, nil // VBA 0: use the kernel interface (paper §3.6)
 	}
 	if m.Faults.Fire(faults.SiteKernelFmapZero) {
@@ -139,13 +144,15 @@ func (pr *Process) Fmap(p *sim.Proc, fd int) (uint64, error) {
 	// Hardware discipline: every page-table splice is followed by an
 	// IOMMU invalidation so no translation cache (IOTLB or the
 	// paging-structure cache) can serve a path from before the update.
-	m.MMU.InvalidateRange(pr.PASID, base, int64(span))
+	m.invalidateRange(pr.node, pr.PASID, base, int64(span))
 	// Warm fmap: a handful of pointer updates (Table 5 fit).
 	m.CPU.Compute(p, m.Cfg.FmapBase+sim.Time(updates)*m.Cfg.FmapPerPMD)
 
 	att := &Attachment{Proc: pr, key: ikey(in), Base: base, Span: span, Reserved: reserved, Writable: f.Writable}
 	f.Bypass = att
+	m.mu.Lock()
 	m.attachments[att.key] = append(m.attachments[att.key], att)
+	m.mu.Unlock()
 	in.BypassOpens++
 	return base, nil
 }
@@ -165,13 +172,15 @@ func (m *Machine) funmap(att *Attachment) {
 			m.regionDetach(att)
 		} else {
 			detachRegion(att.Proc.Table, att.Base, att.Span)
-			m.MMU.InvalidateRange(att.Proc.PASID, att.Base, int64(att.Span))
+			m.invalidateRange(att.Proc.node, att.Proc.PASID, att.Base, int64(att.Span))
 		}
 	}
 	m.removeAttachment(att)
 }
 
 func (m *Machine) removeAttachment(att *Attachment) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	list := m.attachments[att.key]
 	for i, a := range list {
 		if a == att {
@@ -190,17 +199,20 @@ func (m *Machine) removeAttachment(att *Attachment) {
 // the kernel interface (paper §3.6).
 func (m *Machine) Revoke(in *ext4.Inode) {
 	k := ikey(in)
+	m.mu.Lock()
 	m.revoked[k] = true
-	for _, att := range m.attachments[k] {
+	list := m.attachments[k]
+	delete(m.attachments, k)
+	m.mu.Unlock()
+	for _, att := range list {
 		if att.Region {
 			m.regionDetach(att)
 		} else {
 			detachRegion(att.Proc.Table, att.Base, att.Span)
-			m.MMU.InvalidateRange(att.Proc.PASID, att.Base, int64(att.Span))
+			m.invalidateRange(att.Proc.node, att.Proc.PASID, att.Base, int64(att.Span))
 		}
 		att.Revoked = true
 	}
-	delete(m.attachments, k)
 }
 
 // syncGrowth attaches newly created file-table fragments into every
@@ -219,7 +231,10 @@ func (m *Machine) syncGrowth(in *ext4.Inode) {
 		frags = ft.Fragments()
 	}
 	var exhausted bool
-	for _, att := range m.attachments[ikey(in)] {
+	m.mu.Lock()
+	list := append([]*Attachment(nil), m.attachments[ikey(in)]...)
+	m.mu.Unlock()
+	for _, att := range list {
 		if att.Region {
 			m.regionSync(in, att)
 			continue
@@ -240,7 +255,7 @@ func (m *Machine) syncGrowth(in *ext4.Inode) {
 		}
 		// Invalidate the grown tail: like Fmap, an attach is a
 		// page-table update and must not leave stale cached paths.
-		m.MMU.InvalidateRange(att.Proc.PASID, att.Base+att.Span, int64(newSpan-att.Span))
+		m.invalidateRange(att.Proc.node, att.Proc.PASID, att.Base+att.Span, int64(newSpan-att.Span))
 		att.Span = newSpan
 	}
 	if exhausted {
@@ -252,12 +267,15 @@ func (m *Machine) syncGrowth(in *ext4.Inode) {
 // layout changed (truncate); page-table FTEs were already updated via
 // the shared fragments, while extent-table mappings re-register.
 func (m *Machine) invalidateMappings(in *ext4.Inode) {
-	for _, att := range m.attachments[ikey(in)] {
+	m.mu.Lock()
+	list := append([]*Attachment(nil), m.attachments[ikey(in)]...)
+	m.mu.Unlock()
+	for _, att := range list {
 		if att.Region {
 			m.regionSync(in, att)
 			continue
 		}
-		m.MMU.InvalidateRange(att.Proc.PASID, att.Base, int64(att.Span))
+		m.invalidateRange(att.Proc.node, att.Proc.PASID, att.Base, int64(att.Span))
 	}
 }
 
@@ -265,9 +283,15 @@ func (m *Machine) invalidateMappings(in *ext4.Inode) {
 // direct access again. Existing attachments stay detached — each
 // process re-attaches on its next fault via the refmap path (§3.6).
 func (m *Machine) Restore(in *ext4.Inode) {
+	m.mu.Lock()
 	delete(m.revoked, ikey(in))
+	m.mu.Unlock()
 }
 
 // Revoked reports whether direct access to the inode is currently
 // revoked (tests, Fig. 12 harness).
-func (m *Machine) Revoked(in *ext4.Inode) bool { return m.revoked[ikey(in)] }
+func (m *Machine) Revoked(in *ext4.Inode) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.revoked[ikey(in)]
+}

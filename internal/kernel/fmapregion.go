@@ -41,7 +41,10 @@ func (pr *Process) FmapRegion(p *sim.Proc, fd int) (uint64, error) {
 	defer pr.exit(p)
 
 	in := f.Ino
-	if m.revoked[ikey(in)] || in.KernelOpens > 0 {
+	m.mu.Lock()
+	rev := m.revoked[ikey(in)]
+	m.mu.Unlock()
+	if rev || in.KernelOpens > 0 {
 		return 0, nil
 	}
 	if f.Bypass != nil {
@@ -56,7 +59,7 @@ func (pr *Process) FmapRegion(p *sim.Proc, fd int) (uint64, error) {
 	base := pr.allocVBA(reserved)
 	segs := regionSegs(in)
 	m.CPU.Compute(p, m.Cfg.FmapBase+sim.Time(len(segs))*fmapRegionPerExtent)
-	if err := m.MMU.RegisterRegion(pr.PASID, pr.node.Dev.Config().DevID, base, reserved, f.Writable, segs); err != nil {
+	if err := m.registerRegion(pr.node, pr.PASID, pr.node.Dev.Config().DevID, base, reserved, f.Writable, segs); err != nil {
 		return 0, err
 	}
 
@@ -65,14 +68,38 @@ func (pr *Process) FmapRegion(p *sim.Proc, fd int) (uint64, error) {
 		Writable: f.Writable, Region: true,
 	}
 	f.Bypass = att
+	m.mu.Lock()
 	m.attachments[att.key] = append(m.attachments[att.key], att)
+	m.mu.Unlock()
 	in.BypassOpens++
 	return base, nil
 }
 
+// registerRegion installs an extent-table mapping, mirroring the
+// PASID discipline: coupled phases program every node's agent, an
+// armed phase stays on the owning node's shard.
+func (m *Machine) registerRegion(owner *DevNode, pasid uint32, devID uint8, base, reserved uint64, writable bool, segs []iommu.RegionSeg) error {
+	if m.Sim.ParallelArmed() {
+		return owner.MMU.RegisterRegion(pasid, devID, base, reserved, writable, segs)
+	}
+	var first error
+	for _, n := range m.Nodes {
+		if err := n.MMU.RegisterRegion(pasid, devID, base, reserved, writable, segs); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // regionDetach tears down an extent-table mapping.
 func (m *Machine) regionDetach(att *Attachment) {
-	m.MMU.UnregisterRegion(att.Proc.PASID, att.Base)
+	if m.Sim.ParallelArmed() {
+		att.Proc.node.MMU.UnregisterRegion(att.Proc.PASID, att.Base)
+		return
+	}
+	for _, n := range m.Nodes {
+		n.MMU.UnregisterRegion(att.Proc.PASID, att.Base)
+	}
 }
 
 // regionSync refreshes an extent-table mapping after the file's block
@@ -85,7 +112,7 @@ func (m *Machine) regionSync(in *ext4.Inode, att *Attachment) {
 		m.Revoke(in)
 		return
 	}
-	if err := m.MMU.RegisterRegion(att.Proc.PASID, att.Proc.node.Dev.Config().DevID, att.Base, att.Reserved, att.Writable, segs); err != nil {
+	if err := m.registerRegion(att.Proc.node, att.Proc.PASID, att.Proc.node.Dev.Config().DevID, att.Base, att.Reserved, att.Writable, segs); err != nil {
 		m.Revoke(in)
 		return
 	}

@@ -15,6 +15,8 @@ package kernel
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/device"
 	"repro/internal/ext4"
@@ -92,7 +94,16 @@ func ikey(in *ext4.Inode) inoKey { return inoKey{dev: in.Dev, ino: in.Ino} }
 type DevNode struct {
 	Index int // position in Machine.Nodes
 	Shard int // sim event shard the node's device procs run on
-	Dev   *device.SSD
+	// MMU is the node's translation agent. One IOMMU per node (one
+	// per root complex, as on a real multi-socket machine) keeps the
+	// whole ATS hot path — IOTLB, paging-structure cache, counters —
+	// confined to the node's event shard, which is what lets shards
+	// execute on separate host cores without locks. Every process
+	// PASID is registered on every node's IOMMU (the kernel driver
+	// programs each context table), so the cross-device DevID denial
+	// (paper §3.4, Fig. 3) behaves exactly as with one shared agent.
+	MMU *iommu.IOMMU
+	Dev *device.SSD
 	FS    *ext4.FS
 
 	kq *kernelQueue
@@ -103,9 +114,9 @@ type DevNode struct {
 type Machine struct {
 	Sim *sim.Sim
 	CPU *sim.CPUSet
-	// Dev and FS alias node 0 — the historical single-device surface.
-	// Every existing single-device caller keeps working unchanged;
-	// multi-device callers go through Nodes.
+	// Dev, MMU and FS alias node 0 — the historical single-device
+	// surface. Every existing single-device caller keeps working
+	// unchanged; multi-device callers go through Nodes.
 	Dev *device.SSD
 	MMU *iommu.IOMMU
 	FS  *ext4.FS
@@ -128,7 +139,8 @@ type Machine struct {
 	Faults *faults.Injector
 
 	// BlockRetries counts transient device errors the kernel block
-	// layer absorbed by resubmitting.
+	// layer absorbed by resubmitting. Updated atomically: kernel block
+	// I/O can retry on any node's shard.
 	BlockRetries int64
 
 	// Trace is the machine's span tracer, picked up from the globally
@@ -142,6 +154,21 @@ type Machine struct {
 
 	nextPID   int
 	nextPASID uint32
+
+	// lookahead is the machine's provable epoch-window floor: the
+	// smallest configured latency any kernel- or IOMMU-mediated
+	// cross-shard interaction must pay. Derived and asserted positive
+	// at multi-node boot; ArmParallel widens the actual window for
+	// shard-confined traffic phases (the barrier causality check
+	// enforces soundness either way).
+	lookahead sim.Time
+
+	// mu guards the machine-global control-plane maps below. The hot
+	// data path never takes it; it exists for the short control-plane
+	// window at the start of an armed traffic phase (per-tenant
+	// library init: fmap, DMA-buffer registration) where processes on
+	// different shards touch machine-wide bookkeeping concurrently.
+	mu sync.Mutex
 
 	// attachments tracks every fmap()ed (process, region) per inode
 	// so the kernel can revoke direct access (paper §3.6).
@@ -216,7 +243,6 @@ func NewMachineN(s *sim.Sim, cfg Config, dcfgs []device.Config, sts []*storage.S
 	}
 	m := &Machine{
 		Sim:         s,
-		CPU:         s.NewCPUSet(cfg.Cores),
 		Cfg:         cfg,
 		nodeByDev:   make(map[uint8]*DevNode, len(dcfgs)),
 		attachments: make(map[inoKey][]*Attachment),
@@ -224,9 +250,7 @@ func NewMachineN(s *sim.Sim, cfg Config, dcfgs []device.Config, sts []*storage.S
 		writeLocks:  make(map[inoKey]*sim.Resource),
 		nextPASID:   100,
 	}
-	m.MMU = iommu.New(iommu.DefaultConfig())
 	m.Faults = faults.NewFromActive()
-	m.MMU.SetInjector(m.Faults)
 
 	names := make(map[string]bool, len(dcfgs))
 	for i := range dcfgs {
@@ -252,8 +276,12 @@ func NewMachineN(s *sim.Sim, cfg Config, dcfgs []device.Config, sts []*storage.S
 		if fresh {
 			st = storage.NewBytes(dcfg.CapacityBytes)
 		}
+		// One IOMMU per node (see DevNode.MMU): the node's ATS traffic
+		// stays on its own event shard.
+		mmu := iommu.New(iommu.DefaultConfig())
+		mmu.SetInjector(m.Faults)
 		dev := device.NewWithStore(s, dcfg, st)
-		dev.AttachIOMMU(m.MMU)
+		dev.AttachIOMMU(mmu)
 		dev.SetInjector(m.Faults)
 
 		if fresh {
@@ -262,8 +290,11 @@ func NewMachineN(s *sim.Sim, cfg Config, dcfgs []device.Config, sts []*storage.S
 			}
 		}
 		// Boot-time mount goes through the untimed path; runtime I/O
-		// then flows through the timed kernel BlockIO.
-		fs, err := ext4.Mount(nil, &ext4.Direct{St: st}, dcfg.DevID, s.Now)
+		// then flows through the timed kernel BlockIO. The file
+		// system's clock is the node's shard clock: in a parallel
+		// epoch a shard legitimately runs ahead of the global clock,
+		// and mtimes must follow the I/O that dirtied them.
+		fs, err := ext4.Mount(nil, &ext4.Direct{St: st}, dcfg.DevID, s.ShardClock(dcfg.Shard))
 		if err != nil {
 			return nil, err
 		}
@@ -271,7 +302,7 @@ func NewMachineN(s *sim.Sim, cfg Config, dcfgs []device.Config, sts []*storage.S
 		if err != nil {
 			return nil, err
 		}
-		n := &DevNode{Index: i, Shard: dcfg.Shard, Dev: dev, FS: fs}
+		n := &DevNode{Index: i, Shard: dcfg.Shard, MMU: mmu, Dev: dev, FS: fs}
 		n.kq = &kernelQueue{m: m, n: n, q: q, waiters: make(map[uint16]*waiter)}
 		fs.SetBlockIO(&kernelBIO{m: m, n: n})
 		fs.SetInjector(m.Faults)
@@ -284,7 +315,16 @@ func NewMachineN(s *sim.Sim, cfg Config, dcfgs []device.Config, sts []*storage.S
 		m.Nodes = append(m.Nodes, n)
 	}
 	n0 := m.Nodes[0]
-	m.Dev, m.FS, m.kq = n0.Dev, n0.FS, n0.kq
+	m.Dev, m.FS, m.MMU, m.kq = n0.Dev, n0.FS, n0.MMU, n0.kq
+	// The CPU pool sizes one lane per event shard, so it must be
+	// created after the device loop added every shard.
+	m.CPU = s.NewCPUSet(cfg.Cores)
+	if len(m.Nodes) > 1 {
+		m.lookahead = m.lookaheadFloor()
+		if m.lookahead <= 0 {
+			return nil, fmt.Errorf("kernel: multi-node boot with a non-positive lookahead floor %d — every cross-shard interaction cost must be positive", m.lookahead)
+		}
+	}
 	m.mBlockRetries = metrics.GetCounter("kernel_block_retries_total")
 	if tr := trace.NewFromActive(dcfgs[0].Name); tr != nil {
 		m.EnableTrace(tr)
@@ -314,15 +354,105 @@ func (m *Machine) node(in *ext4.Inode) *DevNode {
 	return m.Nodes[0]
 }
 
-// writeLock returns the inode's i_rwsem equivalent.
+// writeLock returns the inode's i_rwsem equivalent. The lock lives on
+// the inode's node shard: its holders and waiters are that node's
+// writers, so accounting stays shard-local in a parallel run.
 func (m *Machine) writeLock(in *ext4.Inode) *sim.Resource {
 	k := ikey(in)
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	l, ok := m.writeLocks[k]
 	if !ok {
-		l = m.Sim.NewResource(fmt.Sprintf("i_rwsem-%d", k.ino), 1)
+		l = m.Sim.NewResourceOn(m.node(in).Shard, fmt.Sprintf("i_rwsem-%d", k.ino), 1)
 		m.writeLocks[k] = l
 	}
 	return l
+}
+
+// lookaheadFloor derives the provable epoch-window bound from the
+// machine's cost model: the cheapest configured step any cross-shard
+// interaction must pay before an event it causes can land on another
+// shard. Kernel-mediated paths pay at least a mode switch or a block-
+// layer step; device-mediated paths pay at least a PCIe round trip or
+// the translation floor. The minimum positive of these bounds how far
+// one shard may run ahead while coupled semantics are preserved.
+func (m *Machine) lookaheadFloor() sim.Time {
+	floor := sim.Time(0)
+	consider := func(d sim.Time) {
+		if d > 0 && (floor == 0 || d < floor) {
+			floor = d
+		}
+	}
+	consider(m.Cfg.SyscallEnter)
+	consider(m.Cfg.BlockLayer)
+	consider(m.Cfg.DriverSubmit)
+	for _, n := range m.Nodes {
+		icfg := n.MMU.Config()
+		consider(icfg.PCIeRoundTrip)
+		consider(icfg.MinTranslation)
+	}
+	return floor
+}
+
+// LookaheadFloor reports the machine's derived epoch-window floor
+// (0 on a single-node machine, where the epoch engine never runs).
+func (m *Machine) LookaheadFloor() sim.Time { return m.lookahead }
+
+// ParallelWindow is the epoch width ArmParallel uses. It is far wider
+// than the provable floor: an armed phase promises device-affine
+// traffic (each tenant's generator, workers, queues, and device share
+// one shard), so epochs exist only to amortize barriers, and the
+// merge's causality check turns any broken promise into a hard panic
+// instead of silent reordering.
+const ParallelWindow = 50 * sim.Microsecond
+
+// ArmParallel arms the simulator's conservative epoch engine for a
+// shard-confined traffic phase and returns the worker count actually
+// granted. On a single-node machine it is a no-op (returns 1). The
+// request is degraded to one worker — epochs still run, so results
+// stay invariant across worker counts — when a machine-wide observer
+// that the parallel path cannot serve race-free is attached: an armed
+// fault profile (shared rule state and PRNG) or a span tracer.
+func (m *Machine) ArmParallel(workers int) int {
+	if len(m.Nodes) < 2 {
+		return 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if m.Faults.Active() || m.Trace != nil {
+		workers = 1
+	}
+	m.Sim.SetWorkers(workers)
+	w := ParallelWindow
+	if w < m.lookahead {
+		w = m.lookahead
+	}
+	m.Sim.SetLookahead(w)
+	return workers
+}
+
+// DisarmParallel returns the simulator to coupled dispatch.
+func (m *Machine) DisarmParallel() {
+	m.Sim.SetLookahead(0)
+	m.Sim.SetWorkers(1)
+}
+
+// invalidateRange drops pasid's cached translations for [va, va+bytes)
+// on every IOMMU that may hold them. Coupled phases fan out to all
+// nodes (a PASID is registered machine-wide, and a queue on any node
+// may have translated for it — the Fig. 3 denial path walks, and a
+// real kernel must shoot down every agent). While the epoch engine is
+// armed, traffic is device-affine by contract, so only the owning
+// node's agent can hold entries and the shoot-down stays shard-local.
+func (m *Machine) invalidateRange(owner *DevNode, pasid uint32, va uint64, bytes int64) {
+	if m.Sim.ParallelArmed() {
+		owner.MMU.InvalidateRange(pasid, va, bytes)
+		return
+	}
+	for _, n := range m.Nodes {
+		n.MMU.InvalidateRange(pasid, va, bytes)
+	}
 }
 
 // waiter tracks one in-flight kernel command.
@@ -428,7 +558,7 @@ func (k *kernelQueue) submitRetry(p *sim.Proc, e nvme.SQE) nvme.Status {
 		if st.OK() || !st.Transient() || attempt >= blockRetries {
 			return st
 		}
-		k.m.BlockRetries++
+		atomic.AddInt64(&k.m.BlockRetries, 1)
 		k.m.mBlockRetries.Inc()
 	}
 }

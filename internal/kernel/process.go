@@ -83,7 +83,14 @@ func (m *Machine) NewProcessOn(cred ext4.Cred, devIdx int) *Process {
 		fds:     make(map[int]*FD),
 		nextFD:  3,
 	}
-	m.MMU.RegisterPASID(pr.PASID, pr.Table)
+	// The driver programs every node's context table: a queue on any
+	// node can then walk this process's page table, which is what the
+	// cross-device DevID denial (paper §3.4) exercises. Registration
+	// is boot/setup-plane work; the per-node IOMMU caches themselves
+	// fill only from each node's own shard.
+	for _, n := range m.Nodes {
+		n.MMU.RegisterPASID(pr.PASID, pr.Table)
+	}
 	return pr
 }
 
@@ -98,7 +105,9 @@ func (pr *Process) Exit(p *sim.Proc) {
 	for fd := range pr.fds {
 		_ = pr.Close(p, fd)
 	}
-	pr.M.MMU.UnregisterPASID(pr.PASID)
+	for _, n := range pr.M.Nodes {
+		n.MMU.UnregisterPASID(pr.PASID)
+	}
 }
 
 // enter/exit charge the privilege-mode switches around a syscall.
@@ -224,12 +233,14 @@ func (pr *Process) Close(p *sim.Proc, fd int) error {
 		f.Ino.KernelOpens--
 	}
 	if f.timesDirty {
-		f.Ino.Mtime = m.Sim.Now()
+		f.Ino.Mtime = p.Now()
 		// Commit lazily: the dirty inode flushes at the next sync
 		// point, as mmap()ed files do.
 	}
 	if f.Ino.BypassOpens == 0 && f.Ino.KernelOpens == 0 {
+		m.mu.Lock()
 		delete(m.revoked, ikey(f.Ino))
+		m.mu.Unlock()
 	}
 	delete(pr.fds, fd)
 	return nil

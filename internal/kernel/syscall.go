@@ -146,7 +146,7 @@ func (pr *Process) Fsync(p *sim.Proc, fd int) error {
 	defer pr.exit(p)
 	pr.injectRevoke(f)
 	if f.timesDirty {
-		f.Ino.Mtime = pr.M.Sim.Now()
+		f.Ino.Mtime = p.Now()
 		f.timesDirty = false
 	}
 	return pr.node.FS.Fsync(p, f.Ino)

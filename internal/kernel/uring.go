@@ -50,7 +50,7 @@ func (pr *Process) NewUring(p *sim.Proc) *Uring {
 		sqCond: pr.M.Sim.NewCond(),
 		cqCond: pr.M.Sim.NewCond(),
 	}
-	pr.M.Sim.Spawn("sqpoll", u.poll)
+	p.Spawn("sqpoll", u.poll) // shard-local: the poller lives on the submitter's node
 	return u
 }
 
@@ -61,8 +61,8 @@ func (pr *Process) NewUring(p *sim.Proc) *Uring {
 // Fig. 9's io_uring collapse.
 func (u *Uring) poll(p *sim.Proc) {
 	m := u.pr.M
-	m.CPU.Occupy()
-	defer m.CPU.Vacate()
+	m.CPU.Occupy(p)
+	defer m.CPU.Vacate(p)
 	for {
 		if u.closed {
 			return

@@ -44,9 +44,11 @@ func NewGuestMachine(s *sim.Sim, cfg Config, host *Machine, vf *device.SSD, nest
 	vf.AttachIOMMU(m.MMU)
 
 	// Boot the guest file system inside the VF window, formatting on
-	// first boot.
+	// first boot. The guest's clock is its VF's shard clock (the VF
+	// shares its parent device's event shard).
+	clock := s.ShardClock(vf.Config().Shard)
 	boot := &ext4.Direct{St: vf.WindowedStore()}
-	fs, err := ext4.Mount(nil, boot, vf.Config().DevID, s.Now)
+	fs, err := ext4.Mount(nil, boot, vf.Config().DevID, clock)
 	if err != nil {
 		if !errors.Is(err, ext4.ErrBadFS) {
 			return nil, err
@@ -54,7 +56,7 @@ func NewGuestMachine(s *sim.Sim, cfg Config, host *Machine, vf *device.SSD, nest
 		if err := ext4.Mkfs(boot, ext4.DefaultOptions(vf.Config().CapacityBytes, vf.Config().DevID)); err != nil {
 			return nil, err
 		}
-		if fs, err = ext4.Mount(nil, boot, vf.Config().DevID, s.Now); err != nil {
+		if fs, err = ext4.Mount(nil, boot, vf.Config().DevID, clock); err != nil {
 			return nil, err
 		}
 	}
@@ -66,7 +68,7 @@ func NewGuestMachine(s *sim.Sim, cfg Config, host *Machine, vf *device.SSD, nest
 	}
 	// The guest is a one-node topology over its VF; guest procs share
 	// the host's event shard (the VF is carved from the host device).
-	n := &DevNode{Index: 0, Dev: vf, FS: fs}
+	n := &DevNode{Index: 0, Shard: vf.Config().Shard, MMU: m.MMU, Dev: vf, FS: fs}
 	n.kq = &kernelQueue{m: m, n: n, q: q, waiters: make(map[uint16]*waiter)}
 	fs.SetBlockIO(&kernelBIO{m: m, n: n})
 	m.Nodes = []*DevNode{n}

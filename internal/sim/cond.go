@@ -18,6 +18,22 @@ func (c *Cond) Wait(p *Proc) {
 	p.park()
 }
 
+// wakeTime is the virtual instant a wakeup for p fires at: p's shard
+// clock or the global clock, whichever is ahead. Under the coupled
+// scheduler the global clock is always ahead, reproducing the
+// historical "wake at now" exactly; under the epoch engine the shard
+// clock is the correct local time for a shard-local signal. Signaling
+// a cond whose waiters live on another shard from inside an epoch run
+// is out of contract (the signaler would race the waiter's shard) —
+// the race detector and the equivalence gate catch violations.
+func (c *Cond) wakeTime(p *Proc) Time {
+	at := c.sim.now
+	if sn := c.sim.shards[p.shard].now; sn > at {
+		at = sn
+	}
+	return at
+}
+
 // Signal wakes the earliest waiter, if any. It may be called from any
 // proc or from scheduler context.
 func (c *Cond) Signal() {
@@ -27,13 +43,13 @@ func (c *Cond) Signal() {
 	p := c.waiters[0]
 	copy(c.waiters, c.waiters[1:])
 	c.waiters = c.waiters[:len(c.waiters)-1]
-	c.sim.wakeAt(c.sim.now, p)
+	c.sim.wakeAt(c.wakeTime(p), p)
 }
 
 // Broadcast wakes every waiter in FIFO order.
 func (c *Cond) Broadcast() {
 	for _, p := range c.waiters {
-		c.sim.wakeAt(c.sim.now, p)
+		c.sim.wakeAt(c.wakeTime(p), p)
 	}
 	c.waiters = c.waiters[:0]
 }

@@ -8,10 +8,20 @@ package sim
 // penalty when oversubscribed — this is what makes io_uring's SQPOLL
 // mode collapse past 12 application threads in Fig. 9 (each ring
 // needs an extra polling core).
+//
+// The pool is provisioned per shard: each event shard (one per device
+// node in a topology) gets its own bank of cores and its own demand
+// counter, so compute dilation is a function of shard-local state
+// only — which keeps it deterministic when shards execute on separate
+// host cores. A single-shard machine has exactly one lane and behaves
+// as the historical global pool. Create the set after the topology's
+// shards exist (NewCPUSet sizes one lane per shard).
 type CPUSet struct {
-	sim    *Sim
-	cores  int
-	demand int // threads currently computing or busy-polling
+	sim   *Sim
+	cores int
+	// demand[k] is shard k's instantaneous count of threads computing
+	// or busy-polling.
+	demand []int
 
 	// DeschedulePenalty approximates the scheduler-quantum stall a
 	// busy-polling thread suffers per wait when demand exceeds cores.
@@ -19,27 +29,49 @@ type CPUSet struct {
 	DeschedulePenalty Time
 }
 
-// NewCPUSet returns a CPU pool with the given core count.
+// NewCPUSet returns a CPU pool with the given core count per shard.
 func (s *Sim) NewCPUSet(cores int) *CPUSet {
 	if cores <= 0 {
 		panic("sim: core count must be positive")
 	}
-	return &CPUSet{sim: s, cores: cores, DeschedulePenalty: 50 * Microsecond}
+	return &CPUSet{
+		sim:               s,
+		cores:             cores,
+		demand:            make([]int, len(s.shards)),
+		DeschedulePenalty: 50 * Microsecond,
+	}
 }
 
-// Cores reports the core count.
+// lane maps p to its shard's demand slot. A proc on a shard added
+// after the set was created charges lane 0 (the historical global
+// pool) — topologies avoid this by creating the set last.
+func (c *CPUSet) lane(p *Proc) *int {
+	k := p.shard
+	if k >= len(c.demand) {
+		k = 0
+	}
+	return &c.demand[k]
+}
+
+// Cores reports the per-shard core count.
 func (c *CPUSet) Cores() int { return c.cores }
 
-// Demand reports the instantaneous CPU demand.
-func (c *CPUSet) Demand() int { return c.demand }
+// Demand reports the instantaneous CPU demand summed across shards.
+func (c *CPUSet) Demand() int {
+	n := 0
+	for _, d := range c.demand {
+		n += d
+	}
+	return n
+}
 
 // dilation returns the processor-sharing slowdown factor for the
-// current demand level.
-func (c *CPUSet) dilation() float64 {
-	if c.demand <= c.cores {
+// given demand level.
+func (c *CPUSet) dilation(demand int) float64 {
+	if demand <= c.cores {
 		return 1
 	}
-	return float64(c.demand) / float64(c.cores)
+	return float64(demand) / float64(c.cores)
 }
 
 // Compute burns d nanoseconds of CPU on the calling proc, dilated by
@@ -48,10 +80,11 @@ func (c *CPUSet) Compute(p *Proc, d Time) {
 	if d <= 0 {
 		return
 	}
-	c.demand++
-	f := c.dilation()
+	lane := c.lane(p)
+	*lane++
+	f := c.dilation(*lane)
 	p.Sleep(Time(float64(d) * f))
-	c.demand--
+	*lane--
 }
 
 // BusyWait parks p on cond while charging it as CPU demand (the thread
@@ -60,13 +93,14 @@ func (c *CPUSet) Compute(p *Proc, d Time) {
 // share of the descheduling penalty, modelling the spinning thread
 // losing its core to the scheduler.
 func (c *CPUSet) BusyWait(p *Proc, cond *Cond) {
-	c.demand++
+	lane := c.lane(p)
+	*lane++
 	cond.Wait(p)
-	if c.demand > c.cores {
-		over := c.demand - c.cores
-		p.Sleep(c.DeschedulePenalty * Time(over) / Time(c.demand))
+	if *lane > c.cores {
+		over := *lane - c.cores
+		p.Sleep(c.DeschedulePenalty * Time(over) / Time(*lane))
 	}
-	c.demand--
+	*lane--
 }
 
 // BusyUntil spins until pred() is true, re-checking after every wakeup
@@ -85,19 +119,20 @@ func (c *CPUSet) BlockedWait(p *Proc, cond *Cond) {
 
 // Occupy marks the calling thread as permanently CPU-hungry until
 // Vacate — a pinned polling thread that never yields its core
-// (io_uring SQPOLL+IOPOLL). While occupied, use PenaltyWait instead
-// of BusyWait to avoid double-counting demand.
-func (c *CPUSet) Occupy() { c.demand++ }
+// (io_uring SQPOLL+IOPOLL). While occupied, use Penalty instead of
+// BusyWait to avoid double-counting demand.
+func (c *CPUSet) Occupy(p *Proc) { *c.lane(p)++ }
 
 // Vacate releases an Occupy.
-func (c *CPUSet) Vacate() { c.demand-- }
+func (c *CPUSet) Vacate(p *Proc) { *c.lane(p)-- }
 
 // Penalty charges p the descheduling share an always-spinning thread
 // suffers when the machine is oversubscribed. Call it after each unit
 // of work (or wakeup) of an Occupy'd thread.
 func (c *CPUSet) Penalty(p *Proc) {
-	if c.demand > c.cores {
-		over := c.demand - c.cores
-		p.Sleep(c.DeschedulePenalty * Time(over) / Time(c.demand))
+	lane := c.lane(p)
+	if *lane > c.cores {
+		over := *lane - c.cores
+		p.Sleep(c.DeschedulePenalty * Time(over) / Time(*lane))
 	}
 }

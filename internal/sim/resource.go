@@ -4,9 +4,16 @@ package sim
 // server pool (device channels, lock, bus). Acquire blocks the calling
 // proc while all units are in use; Release hands a unit to the oldest
 // waiter.
+//
+// A resource is shard-resident: its busy-time accounting reads the
+// clock of the shard it was created for, and in a parallel (epoch)
+// run both its holders and its waiters must live on that shard.
+// Device channel pools and per-inode locks are naturally shard-local;
+// create them with NewResourceOn.
 type Resource struct {
 	sim      *Sim
 	name     string
+	shard    int
 	capacity int
 	inUse    int
 	waiters  []*Proc
@@ -16,16 +23,33 @@ type Resource struct {
 	busyArea   float64 // integral of inUse over time
 }
 
-// NewResource returns a resource with the given unit count.
+// NewResource returns a resource with the given unit count, resident
+// on the current coupled dispatch context's shard.
 func (s *Sim) NewResource(name string, capacity int) *Resource {
+	return s.NewResourceOn(s.curShard(), name, capacity)
+}
+
+// NewResourceOn is NewResource with an explicit shard residence —
+// topology boot pins each device's pools to the device's shard.
+func (s *Sim) NewResourceOn(shardIdx int, name string, capacity int) *Resource {
 	if capacity <= 0 {
 		panic("sim: resource capacity must be positive")
 	}
-	return &Resource{sim: s, name: name, capacity: capacity}
+	if shardIdx < 0 || shardIdx >= len(s.shards) {
+		panic("sim: NewResourceOn shard out of range")
+	}
+	return &Resource{sim: s, name: name, shard: shardIdx, capacity: capacity}
+}
+
+// now is the resource's local time: its shard clock or the global
+// clock, whichever is ahead (equal to the global clock under the
+// coupled scheduler).
+func (r *Resource) now() Time {
+	return r.sim.ShardNow(r.shard)
 }
 
 func (r *Resource) account() {
-	now := r.sim.now
+	now := r.now()
 	r.busyArea += float64(r.inUse) * float64(now-r.lastChange)
 	r.lastChange = now
 }
@@ -61,7 +85,7 @@ func (r *Resource) Release() {
 		p := r.waiters[0]
 		copy(r.waiters, r.waiters[1:])
 		r.waiters = r.waiters[:len(r.waiters)-1]
-		r.sim.wakeAt(r.sim.now, p) // unit passes to p; inUse unchanged
+		r.sim.wakeAt(r.now(), p) // unit passes to p; inUse unchanged
 		return
 	}
 	r.account()

@@ -83,31 +83,46 @@ func shardScenario(seed int64, shards int, noShard bool) []string {
 	return log
 }
 
-// TestShardDispatchEquivalenceProperty pins the topology merge's
-// defining property: dispatching from per-shard lanes merged by the
-// global (at, seq) key is observationally identical to the
-// single-queue reference scheduler, for any shard count. Any
-// out-of-order dispatch cascades through the per-proc RNGs and
-// diverges the whole trace, so one comparison per seed is a strong
-// check — the same discipline as the staging lane's noLane test.
+// TestShardDispatchEquivalenceProperty pins the coupled scheduler's
+// properties under the canonical (at, shard, seq) key. The noShard
+// reference mode — everything routed through shard 0's stream in
+// program order — is observationally identical to a true single-shard
+// simulation for any nominal shard count: shard 0's per-shard seq
+// stream alone IS the historical single-queue order (this is the
+// argument that single-device results stayed byte-identical across
+// the per-shard-seq retirement of the global counter). And the
+// sharded dispatch itself is exactly reproducible: the key is a total
+// order, so two runs of the same seed produce byte-identical traces.
+// (Sharded vs noShard full-log identity is no longer a property of
+// the coupled scheduler — simultaneous events on different shards
+// order by shard index rather than global post order; the parallel
+// equivalence property test in parallel_test.go pins the cross-mode
+// guarantees on workloads that are honest about that.)
 func TestShardDispatchEquivalenceProperty(t *testing.T) {
 	for seed := int64(1); seed <= 20; seed++ {
 		for _, shards := range []int{2, 4, 8} {
-			sharded := shardScenario(seed, shards, false)
 			ref := shardScenario(seed, shards, true)
 			single := shardScenario(seed, 1, false)
-			if len(sharded) != len(ref) || len(sharded) != len(single) {
-				t.Fatalf("seed %d shards %d: trace lengths %d (sharded) %d (noShard) %d (single)",
-					seed, shards, len(sharded), len(ref), len(single))
+			if len(ref) != len(single) {
+				t.Fatalf("seed %d shards %d: trace lengths %d (noShard) %d (single)",
+					seed, shards, len(ref), len(single))
 			}
-			for i := range sharded {
-				if sharded[i] != ref[i] {
-					t.Fatalf("seed %d shards %d: sharded vs noShard diverge at step %d: %q vs %q",
-						seed, shards, i, sharded[i], ref[i])
+			for i := range ref {
+				if ref[i] != single[i] {
+					t.Fatalf("seed %d shards %d: noShard vs single-shard diverge at step %d: %q vs %q",
+						seed, shards, i, ref[i], single[i])
 				}
-				if sharded[i] != single[i] {
-					t.Fatalf("seed %d shards %d: sharded vs single-shard diverge at step %d: %q vs %q",
-						seed, shards, i, sharded[i], single[i])
+			}
+			a := shardScenario(seed, shards, false)
+			b := shardScenario(seed, shards, false)
+			if len(a) != len(b) {
+				t.Fatalf("seed %d shards %d: sharded dispatch not reproducible: lengths %d vs %d",
+					seed, shards, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("seed %d shards %d: sharded dispatch not reproducible at step %d: %q vs %q",
+						seed, shards, i, a[i], b[i])
 				}
 			}
 		}

@@ -5,10 +5,10 @@
 // nanosecond clock instead of wall-clock time, so results are exact and
 // reproducible regardless of the Go runtime's scheduling behaviour.
 //
-// The kernel runs simulated processes (Proc) cooperatively: exactly one
-// proc executes at any moment, and control transfers between the
-// scheduler and procs through a strict channel handshake. Events that
-// fire at the same virtual instant run in the order they were posted.
+// The kernel runs simulated processes (Proc) cooperatively: control
+// transfers between a scheduler context and procs through a strict
+// channel handshake. Events that fire at the same virtual instant run
+// in the order they were posted.
 //
 // The dispatch hot path is built for throughput (DESIGN.md §12):
 // same-instant events go through a FIFO staging lane instead of the
@@ -18,14 +18,16 @@
 // per-spawn closure allocation on the device's per-command path.
 //
 // Multi-device topologies partition the event stream into shards
-// (DESIGN.md §14): each shard owns its own heap + staging lane, and
-// the scheduler pops the global minimum by the exact (at, seq) key
-// across shards — virtual-clock lockstep. Because seq is a single
-// global counter, the merged dispatch order is identical to a
-// single-queue scheduler's by construction, so sharding never changes
-// results; a noShard reference mode and a randomized equivalence
-// property test (shard_test.go) pin this the same way noLane pins the
-// staging lane.
+// (DESIGN.md §14): each shard owns its own heap + staging lane, clock,
+// and seq stream, and the scheduler pops the global minimum by the
+// canonical (at, shard, seq) key — virtual-clock lockstep. A
+// single-shard simulation sees only the shard-0 stream, so its
+// dispatch order is the historical single-queue order exactly. On top
+// of the coupled scheduler sits an epoch-based conservative parallel
+// engine (DESIGN.md §15, parallel.go): arm it with SetLookahead +
+// SetWorkers and Run executes shards on real host cores, with
+// cross-shard posts buffered per epoch and merged at barriers in a
+// canonical order that makes results identical at any worker count.
 package sim
 
 import (
@@ -165,14 +167,56 @@ func releaseEventHeap(h eventHeap) {
 	heapPool.Put(&h)
 }
 
-// shard is one partition of the event stream: a heap for future posts
-// plus the same-instant staging lane, both ordered by the global
-// (at, seq) key. A single-device simulation has exactly one shard; a
-// topology gives each device its own via AddShard.
+// outPost is a cross-shard post buffered during an epoch (parallel.go):
+// the event plus its destination shard. Its seq is assigned when the
+// barrier merge delivers it, in canonical order.
+type outPost struct {
+	target int
+	e      event
+}
+
+// shard is one partition of the event stream and its private runtime
+// state: a heap for future posts, the same-instant staging lane, a
+// local clock and seq stream, and the proc pool whose resumes route
+// here. A single-device simulation has exactly one shard; a topology
+// gives each device its own via AddShard. In an epoch run (DESIGN.md
+// §15) each shard is owned by exactly one worker per epoch, so none of
+// these fields need locks.
 type shard struct {
 	events  eventHeap
 	lane    []event
 	laneOff int
+
+	// now is the shard's local clock: the timestamp of the last event
+	// dispatched on it. Under the coupled scheduler it trails the
+	// global clock; under the epoch engine it runs ahead of it, up to
+	// the epoch horizon.
+	now Time
+	// seq is the shard's post counter. The canonical event key is
+	// (at, shard, seq): per-shard streams with the shard index as the
+	// tiebreak give multi-shard runs a total order that no longer
+	// depends on a global counter — which is what lets shards execute
+	// on separate host cores — while shard 0's stream alone reproduces
+	// the historical single-queue order exactly.
+	seq       uint64
+	processed uint64
+
+	// Proc machinery: the handshake channel and the pools of procs
+	// whose resume events route through this shard. Per-shard pools
+	// keep spawn/park/finish free of cross-shard traffic in parallel
+	// runs; proc goroutines are shard-resident for their lifetime.
+	yield      chan struct{}
+	procs      []*Proc
+	free       []*Proc
+	nextProcID uint64
+
+	// outbox buffers cross-shard posts made during an epoch; the
+	// barrier merge drains it in source-shard order.
+	outbox []outPost
+}
+
+func newShard() shard {
+	return shard{events: newEventHeap(), yield: make(chan struct{})}
 }
 
 // peek reports the shard's earliest queued (at, seq), merging the
@@ -198,8 +242,9 @@ func (sh *shard) peek() (at Time, seq uint64, ok bool) {
 func (sh *shard) next() event {
 	if sh.laneOff < len(sh.lane) {
 		le := sh.lane[sh.laneOff]
-		// Lane entries hold at == now; only a heap entry at the same
-		// instant with an older seq may precede them.
+		// Lane entries hold at == the shard clock at post time; only a
+		// heap entry at the same instant with an older seq may precede
+		// them.
 		if len(sh.events) == 0 || le.at < sh.events[0].at ||
 			(le.at == sh.events[0].at && le.seq < sh.events[0].seq) {
 			sh.lane[sh.laneOff] = event{} // release the closure/proc ref
@@ -212,6 +257,11 @@ func (sh *shard) next() event {
 		}
 	}
 	return sh.events.pop()
+}
+
+// idle reports whether the shard has no queued events.
+func (sh *shard) idle() bool {
+	return sh.laneOff >= len(sh.lane) && len(sh.events) == 0
 }
 
 // procState tracks where a Proc is in its lifecycle.
@@ -232,9 +282,9 @@ const (
 // own goroutine while it is the running proc.
 //
 // Proc objects (and their goroutines) are recycled: when fn returns,
-// the proc parks in the owning Sim's free pool and a later Spawn may
-// hand it a new identity. ID() distinguishes logical spawns across
-// reuse — two spawns never share an ID even when they share a *Proc.
+// the proc parks in its shard's free pool and a later Spawn may hand
+// it a new identity. ID() distinguishes logical spawns across reuse —
+// two spawns never share an ID even when they share a *Proc.
 type Proc struct {
 	sim   *Sim
 	name  string
@@ -242,8 +292,10 @@ type Proc struct {
 	state procState
 	trace any
 
-	// shard is the event lane the proc's resumes route to, inherited
-	// from the spawning context (or pinned with SpawnOn).
+	// shard is the event lane the proc's resumes route to. Procs are
+	// shard-resident: the shard is fixed at first allocation (from the
+	// spawning context, or pinned with SpawnOn) and recycling reuses
+	// the proc only for spawns on the same shard.
 	shard int
 
 	// id is unique per logical spawn; gen increments on every recycle
@@ -264,13 +316,22 @@ func (p *Proc) Name() string { return p.name }
 // Sim returns the simulation this proc belongs to.
 func (p *Proc) Sim() *Sim { return p.sim }
 
-// Now returns the current virtual time.
-func (p *Proc) Now() Time { return p.sim.now }
+// Now returns the proc's current virtual time: its shard's clock or
+// the global clock, whichever is ahead. Under the coupled scheduler
+// this equals the global clock whenever the proc is running; under
+// the epoch engine it is the correct local time while the global
+// clock trails at the epoch floor.
+func (p *Proc) Now() Time { return p.sim.ShardNow(p.shard) }
+
+// Shard reports the event shard the proc's resumes route through.
+func (p *Proc) Shard() int { return p.shard }
 
 // ID returns the proc's logical spawn identity: unique per Spawn for
 // the lifetime of the Sim, even when the underlying Proc object is
 // recycled. Layers that intern per-thread state (the trace plane's
-// tids) key on it instead of the pointer.
+// tids) key on it instead of the pointer. IDs are tagged with the
+// shard in the high bits, so shard 0's IDs — the only shard of a
+// single-device simulation — are the historical 1, 2, 3, ...
 func (p *Proc) ID() uint64 { return p.id }
 
 // SetTraceCtx attaches an opaque per-request trace context to the
@@ -289,26 +350,25 @@ type killed struct{}
 // usable; construct with New.
 type Sim struct {
 	now Time
-	// seq is the single global post counter. Every shard's events carry
-	// seqs from this one stream, which is what makes the cross-shard
-	// (at, seq) merge reproduce single-queue dispatch order exactly.
-	seq uint64
 
 	// shards partitions the event stream; shards[0] always exists and
 	// is where everything routes in a single-device simulation. Each
 	// shard keeps the same-instant staging FIFO in front of its heap:
-	// events posted at exactly the current virtual time append in O(1)
+	// events posted at exactly the shard's current time append in O(1)
 	// and pop in O(1), skipping both heap sifts. Because every lane
-	// entry carries at == now and a seq greater than anything posted
-	// before it, draining the lane front against the heap top by
-	// (at, seq) reproduces exact posted-order FIFO semantics — the
-	// property test in batch_test.go pins this against a heap-only
-	// reference scheduler. A lane empties before the clock advances
-	// (the global pop is the (at, seq) minimum, so the clock cannot
-	// pass a queued at == now entry), so entries never go stale.
+	// entry carries at == the shard clock and a seq greater than
+	// anything posted on the shard before it, draining the lane front
+	// against the heap top by (at, seq) reproduces exact posted-order
+	// FIFO semantics — the property test in batch_test.go pins this
+	// against a heap-only reference scheduler. A lane empties before
+	// the shard clock advances (pops take the (at, seq) minimum, so
+	// the clock cannot pass a queued at == now entry), so entries
+	// never go stale.
 	shards []shard
-	// cur is the shard of the currently dispatching context: fn events
-	// post to it, and spawned procs inherit it as their affinity.
+	// cur is the shard of the currently dispatching context under the
+	// coupled scheduler: contextless fn posts route to it, and spawned
+	// procs inherit it as their affinity. The parallel engine never
+	// reads it — armed workloads use the Proc-context posting APIs.
 	cur int
 	// noLane forces every post through the heap — the one-at-a-time
 	// reference dispatcher the lane equivalence test compares against.
@@ -318,13 +378,26 @@ type Sim struct {
 	// compares against.
 	noShard bool
 
-	yield chan struct{}
-	procs []*Proc
-	// free holds finished procs whose goroutines are parked awaiting
-	// reuse by a later Spawn.
-	free       []*Proc
-	nextProcID uint64
-	processed  uint64
+	// Winner cache for the coupled cross-shard pop: next() remembers
+	// which shard won the last scan and the best key seen anywhere
+	// else (the runner-up). As long as the winner's head stays below
+	// the runner-up the pop is O(1) instead of O(shards); enqueues to
+	// other shards min-update the runner-up incrementally, and only a
+	// winner switch pays a full rescan.
+	winner      int
+	runnerOK    bool
+	runnerAt    Time
+	runnerShard int
+	runnerSeq   uint64
+
+	// Parallel-engine knobs (parallel.go). lookahead > 0 with more
+	// than one shard arms the epoch engine for Run; workers is the
+	// number of host goroutines that execute shards inside an epoch.
+	lookahead Time
+	workers   int
+	// epochActive is true while runEpochs is driving the simulation;
+	// cross-shard posts divert to the source shard's outbox.
+	epochActive bool
 
 	killing bool
 	running bool
@@ -333,69 +406,181 @@ type Sim struct {
 // New returns an empty simulation with the clock at zero and a single
 // event shard.
 func New() *Sim {
-	return &Sim{yield: make(chan struct{}), shards: []shard{{events: newEventHeap()}}}
+	return &Sim{shards: []shard{newShard()}, winner: -1, workers: 1}
 }
 
-// Now returns the current virtual time.
+// Now returns the current virtual time of the coupled scheduler. Under
+// the epoch engine this is the epoch floor — procs should use
+// Proc.Now (their shard clock) instead; after Run returns it is the
+// maximum across shards.
 func (s *Sim) Now() Time { return s.now }
+
+// ShardNow reports virtual time as seen from the given shard: the
+// shard clock or the global clock, whichever is ahead. Under the
+// coupled scheduler this equals Now(); under the epoch engine it is
+// the shard's local time.
+func (s *Sim) ShardNow(k int) Time {
+	if sn := s.shards[k].now; sn > s.now {
+		return sn
+	}
+	return s.now
+}
+
+// ShardClock returns a closure over ShardNow(k) — the time source
+// layers with a stored clock function (the filesystem's mtimes) use
+// so that each device's timestamps come from its own shard.
+func (s *Sim) ShardClock(k int) func() Time {
+	return func() Time { return s.ShardNow(k) }
+}
 
 // Processed reports the number of events dispatched so far — the
 // simulator's unit of work, used by the throughput benchmarks to
 // report simulated events per wall second.
-func (s *Sim) Processed() uint64 { return s.processed }
+func (s *Sim) Processed() uint64 {
+	var n uint64
+	for i := range s.shards {
+		n += s.shards[i].processed
+	}
+	return n
+}
 
 // AddShard grows the topology by one event shard and returns its
 // index. Shard 0 exists from construction; a multi-device machine
 // adds one shard per additional device so each device's command
-// stream lives in its own lane, merged deterministically by (at, seq).
+// stream lives in its own lane, merged deterministically by the
+// canonical (at, shard, seq) key.
 func (s *Sim) AddShard() int {
-	s.shards = append(s.shards, shard{events: newEventHeap()})
+	s.shards = append(s.shards, newShard())
+	s.winner = -1
+	s.runnerOK = false
 	return len(s.shards) - 1
 }
 
 // Shards reports the number of event shards.
 func (s *Sim) Shards() int { return len(s.shards) }
 
-// enqueue routes one event to the target shard's staging lane
-// (same-instant posts) or heap (future posts).
-func (s *Sim) enqueue(shardIdx int, e event) {
-	if s.noShard {
-		shardIdx = 0
+// SetLookahead sets the epoch window for the conservative parallel
+// engine: with more than one shard and lookahead > 0, Run executes
+// epochs of width lookahead instead of the coupled one-event-at-a-time
+// loop. The caller asserts that while armed, no cross-shard post
+// travels less than the window — the barrier merge panics on a
+// violation. Topology boot derives a hardware floor from the machine's
+// configured latencies; phases that additionally promise cross-shard
+// quiescence (device-affine tenant traffic) may widen the window to
+// amortize barriers. Set 0 to disarm.
+func (s *Sim) SetLookahead(d Time) {
+	if d < 0 {
+		panic("sim: negative lookahead")
 	}
-	sh := &s.shards[shardIdx]
-	if e.at == s.now && !s.noLane {
-		sh.lane = append(sh.lane, e)
-		return
-	}
-	sh.events.push(e)
+	s.lookahead = d
 }
 
-// post schedules fn to run at time at on the current context's shard.
-// fn executes on the scheduler goroutine; it must not block.
+// Lookahead reports the current epoch window (0 = coupled dispatch).
+func (s *Sim) Lookahead() Time { return s.lookahead }
+
+// SetWorkers sets how many host goroutines execute shards inside an
+// epoch. It only matters while the epoch engine is armed
+// (SetLookahead > 0, shards > 1); results are identical at any worker
+// count by construction. n < 1 is treated as 1.
+func (s *Sim) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.workers = n
+}
+
+// Workers reports the configured worker count.
+func (s *Sim) Workers() int { return s.workers }
+
+// keyLess orders the canonical (at, shard, seq) event key.
+func keyLess(a1 Time, s1 int, q1 uint64, a2 Time, s2 int, q2 uint64) bool {
+	if a1 != a2 {
+		return a1 < a2
+	}
+	if s1 != s2 {
+		return s1 < s2
+	}
+	return q1 < q2
+}
+
+// routePost is the single enqueue path: e goes to shard tgt with a seq
+// from tgt's stream; src is the posting context's shard. During an
+// epoch run cross-shard posts divert to the source shard's outbox and
+// get their seq at the barrier merge — that deferred, canonical
+// assignment is what makes parallel execution order-identical to
+// sequential.
+func (s *Sim) routePost(src, tgt int, e event) {
+	if s.noShard {
+		src, tgt = 0, 0
+	}
+	if s.epochActive && tgt != src {
+		sh := &s.shards[src]
+		sh.outbox = append(sh.outbox, outPost{target: tgt, e: e})
+		return
+	}
+	sh := &s.shards[tgt]
+	sh.seq++
+	e.seq = sh.seq
+	if e.at == sh.now && !s.noLane {
+		sh.lane = append(sh.lane, e)
+	} else {
+		sh.events.push(e)
+	}
+	if !s.epochActive {
+		s.noteEnqueue(tgt, e.at, e.seq)
+	}
+}
+
+// noteEnqueue keeps the coupled pop's runner-up key fresh: an enqueue
+// to a non-winner shard can only lower that shard's head, so folding
+// its key into the cached runner-up preserves "runner-up ≤ every
+// non-winner head" without rescanning.
+func (s *Sim) noteEnqueue(k int, at Time, seq uint64) {
+	w := s.winner
+	if w < 0 || k == w {
+		return
+	}
+	if !s.runnerOK || keyLess(at, k, seq, s.runnerAt, s.runnerShard, s.runnerSeq) {
+		s.runnerAt, s.runnerShard, s.runnerSeq, s.runnerOK = at, k, seq, true
+	}
+}
+
+// postFloor is the earliest legal timestamp for a post targeting shard
+// k: the shard clock, and — outside an epoch run, where the global
+// clock is the true frontier — the global clock too. (Inside an epoch
+// shard clocks legitimately run ahead of s.now.)
+func (s *Sim) postFloor(k int) Time {
+	floor := s.shards[k].now
+	if !s.epochActive && s.now > floor {
+		floor = s.now
+	}
+	return floor
+}
+
+// post schedules fn to run at time at on the current coupled dispatch
+// context's shard. fn executes on the scheduler goroutine; it must not
+// block. Not for use from parallel (epoch-armed) workloads — those
+// post through a Proc context.
 func (s *Sim) post(at Time, fn func()) {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: event posted in the past (%v < %v)", at, s.now))
 	}
-	s.seq++
-	s.enqueue(s.cur, event{at: at, seq: s.seq, fn: fn})
+	s.routePost(s.cur, s.cur, event{at: at, fn: fn})
 }
 
 // postResume schedules p to be resumed at time at without allocating a
-// closure, on p's shard. Ordering is identical to post: the shared seq
-// counter keeps resume and function events in one posted-order stream.
+// closure, on p's shard.
 func (s *Sim) postResume(at Time, p *Proc) {
-	if at < s.now {
-		panic(fmt.Sprintf("sim: event posted in the past (%v < %v)", at, s.now))
+	if floor := s.postFloor(p.shard); at < floor {
+		panic(fmt.Sprintf("sim: event posted in the past (%v < %v)", at, floor))
 	}
-	s.seq++
-	s.enqueue(p.shard, event{at: at, seq: s.seq, p: p, pgen: p.gen})
+	s.routePost(p.shard, p.shard, event{at: at, p: p, pgen: p.gen})
 }
 
 // pending reports whether any event is queued in any shard.
 func (s *Sim) pending() bool {
 	for i := range s.shards {
-		sh := &s.shards[i]
-		if sh.laneOff < len(sh.lane) || len(sh.events) > 0 {
+		if !s.shards[i].idle() {
 			return true
 		}
 	}
@@ -406,45 +591,63 @@ func (s *Sim) pending() bool {
 // must be true.
 func (s *Sim) peekAt() Time {
 	best := Time(0)
-	var bestSeq uint64
 	found := false
 	for i := range s.shards {
-		if at, seq, ok := s.shards[i].peek(); ok {
-			if !found || at < best || (at == best && seq < bestSeq) {
-				best, bestSeq, found = at, seq, true
+		if at, _, ok := s.shards[i].peek(); ok {
+			if !found || at < best {
+				best, found = at, true
 			}
 		}
 	}
 	return best
 }
 
-// next pops the globally earliest event by (at, seq) across shards and
-// records its shard as the current dispatch context; pending must be
-// true. With one shard this is the historical single-queue pop.
+// next pops the globally earliest event by the canonical
+// (at, shard, seq) key and records its shard as the current dispatch
+// context; pending must be true. With one shard this is the historical
+// single-queue pop. With several, the winner cache makes the common
+// case — the same shard winning repeatedly — O(1): the full scan runs
+// only when the cached winner empties or its head falls behind the
+// cached runner-up.
 func (s *Sim) next() event {
 	if len(s.shards) == 1 {
 		s.cur = 0
 		return s.shards[0].next()
 	}
-	best := -1
-	var bAt Time
-	var bSeq uint64
+	if w := s.winner; w >= 0 {
+		if at, seq, ok := s.shards[w].peek(); ok &&
+			(!s.runnerOK || keyLess(at, w, seq, s.runnerAt, s.runnerShard, s.runnerSeq)) {
+			s.cur = w
+			return s.shards[w].next()
+		}
+	}
+	best, second := -1, -1
+	var bAt, rAt Time
+	var bSeq, rSeq uint64
 	for i := range s.shards {
 		at, seq, ok := s.shards[i].peek()
 		if !ok {
 			continue
 		}
-		if best < 0 || at < bAt || (at == bAt && seq < bSeq) {
+		if best < 0 || keyLess(at, i, seq, bAt, best, bSeq) {
+			second, rAt, rSeq = best, bAt, bSeq
 			best, bAt, bSeq = i, at, seq
+		} else if second < 0 || keyLess(at, i, seq, rAt, second, rSeq) {
+			second, rAt, rSeq = i, at, seq
 		}
+	}
+	s.winner = best
+	s.runnerOK = second >= 0
+	if s.runnerOK {
+		s.runnerAt, s.runnerShard, s.runnerSeq = rAt, second, rSeq
 	}
 	s.cur = best
 	return s.shards[best].next()
 }
 
-// dispatch runs one event.
-func (s *Sim) dispatch(e event) {
-	s.processed++
+// dispatch runs one event on sh.
+func (s *Sim) dispatch(sh *shard, e event) {
+	sh.processed++
 	if e.p != nil {
 		if e.pgen == e.p.gen {
 			s.resume(e.p)
@@ -454,17 +657,30 @@ func (s *Sim) dispatch(e event) {
 	e.fn()
 }
 
-// At schedules fn to run at absolute virtual time at. fn runs in
-// scheduler context and must not block; spawn a proc for blocking work.
+// At schedules fn to run at absolute virtual time at, on the current
+// coupled dispatch context's shard. fn runs in scheduler context and
+// must not block; spawn a proc for blocking work.
 func (s *Sim) At(at Time, fn func()) { s.post(at, fn) }
 
-// After schedules fn to run d nanoseconds from now. fn runs in
-// scheduler context and must not block.
+// After schedules fn to run d nanoseconds from now, on the current
+// coupled dispatch context's shard.
 func (s *Sim) After(d Time, fn func()) { s.post(s.now+d, fn) }
 
+// AtOn schedules fn at absolute time at on an explicit shard. It is
+// the shard-safe variant for layers that hold a shard index rather
+// than a Proc context (a device's wakeup timer): in an epoch run the
+// caller must be executing on that same shard.
+func (s *Sim) AtOn(k int, at Time, fn func()) {
+	if floor := s.postFloor(k); at < floor {
+		panic(fmt.Sprintf("sim: event posted in the past (%v < %v)", at, floor))
+	}
+	s.routePost(k, k, event{at: at, fn: fn})
+}
+
 // Spawn creates a proc that begins executing fn at the current virtual
-// time. It may be called before Run or from inside a running proc. The
-// proc inherits the spawning context's shard.
+// time. It may be called before Run or from inside coupled dispatch.
+// The proc inherits the spawning context's shard. From a running proc
+// in a parallel workload, use Proc.Spawn instead.
 func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
 	return s.SpawnAt(s.now, name, fn)
 }
@@ -476,8 +692,7 @@ func (s *Sim) SpawnOn(shardIdx int, name string, fn func(p *Proc)) *Proc {
 	if shardIdx < 0 || shardIdx >= len(s.shards) {
 		panic(fmt.Sprintf("sim: SpawnOn shard %d of %d", shardIdx, len(s.shards)))
 	}
-	p := s.allocProc(s.now, name)
-	p.shard = shardIdx
+	p := s.allocProcOn(shardIdx, name)
 	p.fn = fn
 	s.postResume(s.now, p)
 	return p
@@ -485,7 +700,7 @@ func (s *Sim) SpawnOn(shardIdx int, name string, fn func(p *Proc)) *Proc {
 
 // SpawnAt creates a proc that begins executing fn at virtual time at.
 func (s *Sim) SpawnAt(at Time, name string, fn func(p *Proc)) *Proc {
-	p := s.allocProc(at, name)
+	p := s.allocProcOn(s.curShard(), name)
 	p.fn = fn
 	s.postResume(at, p)
 	return p
@@ -495,37 +710,97 @@ func (s *Sim) SpawnAt(at Time, name string, fn func(p *Proc)) *Proc {
 // value and arg carries the per-spawn state, so spawning allocates no
 // closure. Pointer-typed args avoid the interface boxing allocation.
 func (s *Sim) SpawnArg(name string, fn func(p *Proc, arg any), arg any) *Proc {
-	p := s.allocProc(s.now, name)
+	p := s.allocProcOn(s.curShard(), name)
 	p.fnArg = fn
 	p.arg = arg
 	s.postResume(s.now, p)
 	return p
 }
 
-// allocProc hands out a proc for a new logical spawn, recycling a
-// finished proc's object and goroutine when one is free.
-func (s *Sim) allocProc(at Time, name string) *Proc {
+// curShard is the spawn affinity of the coupled dispatch context.
+func (s *Sim) curShard() int {
+	if s.noShard {
+		return 0
+	}
+	return s.cur
+}
+
+// Spawn creates a proc on the calling proc's shard, starting at the
+// calling proc's current time. This is the spawn to use from procs in
+// parallel workloads: it touches only shard-local state.
+func (p *Proc) Spawn(name string, fn func(q *Proc)) *Proc {
+	s := p.sim
+	q := s.allocProcOn(p.shard, name)
+	q.fn = fn
+	s.postResume(p.Now(), q)
+	return q
+}
+
+// SpawnArg is the closure-free Spawn from a proc context.
+func (p *Proc) SpawnArg(name string, fn func(q *Proc, arg any), arg any) *Proc {
+	s := p.sim
+	q := s.allocProcOn(p.shard, name)
+	q.fnArg = fn
+	q.arg = arg
+	s.postResume(p.Now(), q)
+	return q
+}
+
+// After schedules fn d nanoseconds after the calling proc's current
+// time, on the proc's shard. fn runs in scheduler context.
+func (p *Proc) After(d Time, fn func()) {
+	p.At(p.Now()+d, fn)
+}
+
+// At schedules fn at absolute time at on the calling proc's shard.
+func (p *Proc) At(at Time, fn func()) {
+	s := p.sim
+	if floor := s.postFloor(p.shard); at < floor {
+		panic(fmt.Sprintf("sim: event posted in the past (%v < %v)", at, floor))
+	}
+	s.routePost(p.shard, p.shard, event{at: at, fn: fn})
+}
+
+// PostOn schedules fn on another shard, delay nanoseconds after the
+// calling proc's current time. It is the one cross-shard primitive
+// legal inside an epoch run: the post lands in the source shard's
+// outbox and is merged at the next barrier, so delay must be at least
+// the armed lookahead. Outside an epoch run it is an ordinary
+// cross-shard post.
+func (p *Proc) PostOn(dst int, delay Time, fn func()) {
+	s := p.sim
+	if delay < 0 {
+		panic("sim: negative PostOn delay")
+	}
+	s.routePost(p.shard, dst, event{at: p.Now() + delay, fn: fn})
+}
+
+// allocProcOn hands out a proc resident on shard k for a new logical
+// spawn, recycling a finished proc's object and goroutine when one is
+// free. Must run on a context that owns shard k (the coupled
+// scheduler, or k's worker during an epoch).
+func (s *Sim) allocProcOn(k int, name string) *Proc {
+	sh := &s.shards[k]
 	var p *Proc
-	if n := len(s.free); n > 0 {
-		p = s.free[n-1]
-		s.free[n-1] = nil
-		s.free = s.free[:n-1]
+	if n := len(sh.free); n > 0 {
+		p = sh.free[n-1]
+		sh.free[n-1] = nil
+		sh.free = sh.free[:n-1]
 		p.name = name
 		p.state = procNew
 	} else {
-		p = &Proc{sim: s, name: name, wake: make(chan struct{}), state: procNew}
-		s.procs = append(s.procs, p)
+		p = &Proc{sim: s, name: name, wake: make(chan struct{}), state: procNew, shard: k}
+		sh.procs = append(sh.procs, p)
 		go s.procLoop(p)
 	}
-	p.shard = s.cur
-	s.nextProcID++
-	p.id = s.nextProcID
+	sh.nextProcID++
+	p.id = uint64(k)<<48 | sh.nextProcID
 	return p
 }
 
 // procLoop is the body of every proc goroutine: serve one assignment,
-// then park in the free pool until the next Spawn reuses the proc (or
-// Shutdown unwinds it).
+// then park in the shard's free pool until the next Spawn reuses the
+// proc (or Shutdown unwinds it).
 func (s *Sim) procLoop(p *Proc) {
 	for {
 		<-p.wake
@@ -542,6 +817,7 @@ func (s *Sim) procLoop(p *Proc) {
 // runAssignment executes p's current fn, reporting whether the
 // goroutine should keep serving recycled assignments.
 func (s *Sim) runAssignment(p *Proc) (again bool) {
+	sh := &s.shards[p.shard]
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(killed); !ok {
@@ -564,9 +840,9 @@ func (s *Sim) runAssignment(p *Proc) (again bool) {
 		p.fnArg = nil
 		p.arg = nil
 		p.trace = nil
-		s.free = append(s.free, p)
+		sh.free = append(sh.free, p)
 		again = true
-		s.yield <- struct{}{}
+		sh.yield <- struct{}{}
 	}()
 	p.state = procRunning
 	if p.fnArg != nil {
@@ -580,18 +856,19 @@ func (s *Sim) runAssignment(p *Proc) (again bool) {
 // finish marks p done and returns control to the scheduler.
 func (s *Sim) finish(p *Proc) {
 	p.state = procDone
-	s.yield <- struct{}{}
+	s.shards[p.shard].yield <- struct{}{}
 }
 
-// resume hands control to p and blocks the scheduler until p parks or
-// finishes. It must only run on the scheduler goroutine.
+// resume hands control to p and blocks the dispatching context until p
+// parks or finishes. It must only run on the context that owns p's
+// shard.
 func (s *Sim) resume(p *Proc) {
 	if p.state == procDone || p.state == procIdle {
 		return
 	}
 	p.state = procRunning
 	p.wake <- struct{}{}
-	<-s.yield
+	<-s.shards[p.shard].yield
 }
 
 // park suspends the calling proc until it is resumed. The proc must
@@ -599,7 +876,7 @@ func (s *Sim) resume(p *Proc) {
 func (p *Proc) park() {
 	s := p.sim
 	p.state = procParked
-	s.yield <- struct{}{}
+	s.shards[p.shard].yield <- struct{}{}
 	<-p.wake
 	if s.killing {
 		panic(killed{})
@@ -613,15 +890,17 @@ func (p *Proc) Sleep(d Time) {
 		panic(fmt.Sprintf("sim: negative sleep %d", d))
 	}
 	s := p.sim
-	s.postResume(s.now+d, p)
+	s.postResume(p.Now()+d, p)
 	p.park()
 }
 
-// Yield lets all other events scheduled at the current instant run
-// before the proc continues.
+// Yield lets all other events scheduled at the current instant on the
+// proc's shard run before the proc continues.
 func (p *Proc) Yield() { p.Sleep(0) }
 
-// wakeAt schedules p to be resumed at absolute time at.
+// wakeAt schedules p to be resumed at absolute time at. Wakeups route
+// through p's shard; a cross-shard waker inside an epoch run is out of
+// contract (see Cond).
 func (s *Sim) wakeAt(at Time, p *Proc) {
 	s.postResume(at, p)
 }
@@ -629,6 +908,14 @@ func (s *Sim) wakeAt(at Time, p *Proc) {
 // Run processes events until the event queue is empty. Procs parked on
 // conditions with no pending wakeups remain parked (idle servers); call
 // Shutdown to unwind them.
+//
+// With more than one shard and a non-zero lookahead, Run uses the
+// conservative epoch engine (parallel.go); otherwise it is the coupled
+// loop popping the global (at, shard, seq) minimum one event at a time.
+// Eligibility is re-checked between dispatches, so a harness may arm
+// the engine mid-run (SetLookahead from inside an event handler, e.g.
+// after a setup phase that needs coupled cross-shard freedom) and the
+// remaining events execute in epochs.
 func (s *Sim) Run() {
 	if s.running {
 		panic("sim: Run is not reentrant")
@@ -636,14 +923,29 @@ func (s *Sim) Run() {
 	s.running = true
 	defer func() { s.running = false }()
 	for s.pending() {
+		if len(s.shards) > 1 && s.lookahead > 0 {
+			s.runEpochs()
+			continue
+		}
 		e := s.next()
 		s.now = e.at
-		s.dispatch(e)
+		sh := &s.shards[s.cur]
+		sh.now = e.at
+		s.dispatch(sh, e)
 	}
 }
 
+// ParallelArmed reports whether the epoch engine is armed: the next
+// Run (or the remainder of the current one) will execute in epochs.
+// Control planes consult this to confine cross-shard side effects to
+// coupled phases.
+func (s *Sim) ParallelArmed() bool {
+	return len(s.shards) > 1 && s.lookahead > 0
+}
+
 // RunUntil processes events with timestamps <= t, then sets the clock
-// to t. It returns the number of events processed.
+// to t. It returns the number of events processed. RunUntil always
+// dispatches coupled (no epoch engine): it is a harness-stepping API.
 func (s *Sim) RunUntil(t Time) int {
 	if s.running {
 		panic("sim: RunUntil is not reentrant")
@@ -654,7 +956,9 @@ func (s *Sim) RunUntil(t Time) int {
 	for s.pending() && s.peekAt() <= t {
 		e := s.next()
 		s.now = e.at
-		s.dispatch(e)
+		sh := &s.shards[s.cur]
+		sh.now = e.at
+		s.dispatch(sh, e)
 		n++
 	}
 	if s.now < t {
@@ -669,6 +973,8 @@ func (s *Sim) RunUntil(t Time) int {
 // functions, or Shutdown will deadlock.
 func (s *Sim) Shutdown() {
 	s.killing = true
+	s.winner = -1
+	s.runnerOK = false
 	for si := range s.shards {
 		sh := &s.shards[si]
 		if sh.events != nil {
@@ -680,12 +986,19 @@ func (s *Sim) Shutdown() {
 		}
 		sh.lane = sh.lane[:0]
 		sh.laneOff = 0
+		for i := range sh.outbox {
+			sh.outbox[i] = outPost{}
+		}
+		sh.outbox = sh.outbox[:0]
+		sh.free = nil
 	}
-	s.free = nil
-	for _, p := range s.procs {
-		if p.state == procParked || p.state == procNew || p.state == procIdle {
-			p.wake <- struct{}{}
-			<-s.yield
+	for si := range s.shards {
+		sh := &s.shards[si]
+		for _, p := range sh.procs {
+			if p.state == procParked || p.state == procNew || p.state == procIdle {
+				p.wake <- struct{}{}
+				<-s.shards[p.shard].yield
+			}
 		}
 	}
 }
@@ -694,9 +1007,11 @@ func (s *Sim) Shutdown() {
 // procs are not live: their assignment completed).
 func (s *Sim) Live() int {
 	n := 0
-	for _, p := range s.procs {
-		if p.state != procDone && p.state != procIdle {
-			n++
+	for si := range s.shards {
+		for _, p := range s.shards[si].procs {
+			if p.state != procDone && p.state != procIdle {
+				n++
+			}
 		}
 	}
 	return n

@@ -26,6 +26,7 @@ package tenants
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/device"
@@ -200,10 +201,30 @@ func Run(seed int64, sc Scenario) ([]*Result, error) {
 	return results, err
 }
 
+// RunWorkers is Run with the traffic phase executing on the given
+// number of host workers (multi-device scenarios only; see
+// RunCountedWorkers). Results are identical at any worker count.
+func RunWorkers(seed int64, sc Scenario, workers int) ([]*Result, error) {
+	results, _, err := RunCountedWorkers(seed, sc, workers)
+	return results, err
+}
+
 // RunCounted is Run, additionally reporting the number of simulator
 // events the scenario dispatched — the numerator of the throughput
 // suite's events/sec metric (BenchmarkSimThroughputTenantStorm).
 func RunCounted(seed int64, sc Scenario) ([]*Result, uint64, error) {
+	return RunCountedWorkers(seed, sc, 1)
+}
+
+// RunCountedWorkers executes the scenario with its traffic phase under
+// the simulator's conservative epoch engine on up to workers host
+// goroutines. The setup phase (mkdirs, file preallocation, syncs,
+// process creation) always runs coupled; the engine arms right before
+// the tenant pipelines spawn. On a multi-device scenario the engine is
+// armed even at workers == 1, so a scenario's results are one schedule
+// — byte-identical at every worker count; single-device scenarios
+// never arm and keep their historical coupled schedule.
+func RunCountedWorkers(seed int64, sc Scenario, workers int) ([]*Result, uint64, error) {
 	if len(sc.Tenants) == 0 {
 		return nil, 0, fmt.Errorf("tenants: scenario %q has no tenants", sc.Name)
 	}
@@ -252,11 +273,17 @@ func RunCounted(seed int64, sc Scenario) ([]*Result, uint64, error) {
 	for i := range sc.Tenants {
 		results[i] = &Result{Tenant: sc.Tenants[i], Sojourn: stats.NewHistogram()}
 	}
+	// fail records the first error. Workers on different shards may
+	// race to report during a parallel traffic phase, hence the lock
+	// (the happy path never takes it).
+	var errMu sync.Mutex
 	var runErr error
 	fail := func(err error) {
+		errMu.Lock()
 		if runErr == nil {
 			runErr = err
 		}
+		errMu.Unlock()
 	}
 
 	sys.Sim.Spawn("tenants-setup", func(p *sim.Proc) {
@@ -294,8 +321,18 @@ func RunCounted(seed int64, sc Scenario) ([]*Result, uint64, error) {
 			procs[ti] = pr
 			startTenant(sys, pr, &sc.Tenants[ti], ti, seed, results[ti], fail)
 		}
+		// Setup is done; arm the epoch engine for the traffic phase.
+		// Tenant pipelines are device-affine (everything a tenant does
+		// happens on its device's shard), which is exactly the
+		// contract the engine's barrier merge enforces. Arming takes
+		// effect once this proc yields — every event up to here ran
+		// coupled.
+		if ndev > 1 {
+			sys.M.ArmParallel(workers)
+		}
 	})
 	sys.Sim.Run()
+	sys.M.DisarmParallel()
 	if runErr != nil {
 		return nil, 0, runErr
 	}
