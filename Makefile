@@ -2,12 +2,13 @@ GO ?= go
 FUZZTIME ?= 10s
 FUZZ_TARGETS := ./internal/ext4:FuzzExtentTree ./internal/ext4:FuzzRename ./internal/experiments:FuzzReproSpec
 
-.PHONY: all build test race vet bench bench-json bench-check parallel-equivalence profile fuzz check trace-smoke repro-smoke topology-smoke clean
+.PHONY: all build test race vet bench bench-json bench-check parallel-equivalence profile fuzz check trace-smoke repro-smoke topology-smoke frontend-smoke clean
 
 # The benchmarks the committed snapshot and the throughput gate track:
 # the Fig. 6/9 harnesses, the headline 4 KiB read (steady-state and
-# boot-inclusive), and the simulated-IOPS throughput family.
-GATE_BENCH := Fig6LatBW|Fig9Scaling|Direct4KRead|BootDirect4KRead|SimThroughput
+# boot-inclusive), the simulated-IOPS throughput family, and the
+# frontend service tier.
+GATE_BENCH := Fig6LatBW|Fig9Scaling|Direct4KRead|BootDirect4KRead|SimThroughput|FrontendThroughput
 
 all: check
 
@@ -30,15 +31,15 @@ bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
 # bench-json regenerates the committed benchmark snapshot: the
-# Fig. 6/9 harnesses, the headline 4 KiB read, and the throughput
-# family (single-queue, traced, tenant storm, and the four-SSD
-# sharded core at 1 and 4 workers) with its events/sec,
+# Fig. 6/9 harnesses, the headline 4 KiB read, the throughput family
+# (single-queue, traced, tenant storm, and the four-SSD sharded core
+# at 1 and 4 workers), and the frontend service tier, with events/sec,
 # wall-ns-per-event, and wall-ns-per-virtual-ns metrics. Set
 # BASELINE=<old bench output file> to embed a before/after pair.
 bench-json:
 	$(GO) test -bench '$(GATE_BENCH)' -benchmem -run '^$$' . \
-		| $(GO) run ./cmd/benchjson $(if $(BASELINE),-baseline $(BASELINE)) -o BENCH_PR9.json
-	@echo wrote BENCH_PR9.json
+		| $(GO) run ./cmd/benchjson $(if $(BASELINE),-baseline $(BASELINE)) -o BENCH_PR10.json
+	@echo wrote BENCH_PR10.json
 
 # bench-check is the performance regression gate, in three parts:
 #  1. allocation budgets — a steady-state 4 KiB BypassD read must stay
@@ -46,7 +47,7 @@ bench-json:
 #     its budget (Test*AllocBudget), with every arbiter's steady-state
 #     grant allocation-free (TestArbiterZeroAllocHotPath);
 #  2. throughput — the gated benchmarks must stay within 25% of the
-#     committed BENCH_PR9.json ns/op (benchjson -check, which takes
+#     committed BENCH_PR10.json ns/op (benchjson -check, which takes
 #     the min over -count 3 repetitions; min-of-N plus the tolerance
 #     absorbs host noise, so only real regressions fail);
 #  3. parallel speedup — the four-SSD sharded storm at -workers 4 must
@@ -60,7 +61,7 @@ bench-check:
 	BENCH_CHECK=1 $(GO) test -run 'AllocBudget' -count=1 -v .
 	$(GO) test -run TestArbiterZeroAllocHotPath -count=1 -v ./internal/device
 	$(GO) test -bench '$(GATE_BENCH)' -benchmem -benchtime 5x -count 3 -run '^$$' . \
-		| $(GO) run ./cmd/benchjson -check BENCH_PR9.json \
+		| $(GO) run ./cmd/benchjson -check BENCH_PR10.json \
 			-speedup 'SimThroughputSharded/w4:SimThroughputSharded/w1:2.5'
 
 # parallel-equivalence is the tentpole determinism gate under the race
@@ -127,11 +128,29 @@ topology-smoke:
 		grep -Eq '^2 +4 ' $$tmp/out.txt; \
 		echo "topology-smoke ok"
 
+# frontend-smoke drives the service tier end to end through the CLI:
+# the quick T10 cells must render byte-identically at -j1 and -j2, and
+# a builtin fleet must run under the -frontend flag with its admission
+# accounting visible. It catches wiring regressions (flag plumbing,
+# fleet resolution, report shape) that the package tests can miss.
+frontend-smoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+		$(GO) build -o $$tmp/bench ./cmd/bypassd-bench; \
+		$$tmp/bench -run T10 -j 1 > $$tmp/a.txt; \
+		$$tmp/bench -run T10 -j 2 > $$tmp/b.txt; \
+		cmp $$tmp/a.txt $$tmp/b.txt; \
+		grep -q 'service tier over' $$tmp/a.txt; \
+		$$tmp/bench -frontend fleet-token-2.0x > $$tmp/fleet.txt; \
+		grep -q 'token admission' $$tmp/fleet.txt; \
+		grep -q 'fleet' $$tmp/fleet.txt; \
+		echo "frontend-smoke ok"
+
 # check is the default gate: build, vet, full tests (including the
 # statistical tail-claim gates), the race detector over the whole
 # tree, the allocation-budget gate, the parallel determinism gate,
-# the repro-tool round trip, and the 2-device topology smoke.
-check: build vet test race bench-check parallel-equivalence repro-smoke topology-smoke
+# the repro-tool round trip, the 2-device topology smoke, and the
+# service-tier smoke.
+check: build vet test race bench-check parallel-equivalence repro-smoke topology-smoke frontend-smoke
 
 clean:
 	$(GO) clean ./...

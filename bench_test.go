@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/frontend"
 	"repro/internal/tenants"
 	"repro/internal/trace"
 )
@@ -176,6 +177,27 @@ func BenchmarkSimThroughputTenantStorm(b *testing.B) {
 	var events uint64
 	for i := 0; i < b.N; i++ {
 		_, ev, err := tenants.RunCounted(int64(i)+1, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += ev
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkFrontendThroughput measures the service tier end to end:
+// a token-paced fleet at 2x saturation multiplexing its user
+// population over the worker pool against per-device kvell stores,
+// boot and store build included. Events/sec is the regression-gated
+// number — the tier's fairness queues, admission bookkeeping, and
+// backend round-trips all sit on the event path.
+func BenchmarkFrontendThroughput(b *testing.B) {
+	fl := frontend.ServiceFleet(frontend.AdmitToken, 2.0, 2, 8, 4000, 8000)
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		_, ev, err := frontend.RunCountedWorkers(int64(i)+1, fl, 1)
 		if err != nil {
 			b.Fatal(err)
 		}

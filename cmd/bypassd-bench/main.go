@@ -11,6 +11,7 @@
 //	bypassd-bench -json run.json  # machine-readable per-experiment results
 //	bypassd-bench -faults chaos   # run under a named fault-injection profile
 //	bypassd-bench -tenants noisy-neighbor-wrr-8   # run one tenant scenario (builtin or JSON file)
+//	bypassd-bench -frontend fleet-token-2.0x      # run one service-tier fleet (builtin or JSON file)
 //	bypassd-bench -trace t.json   # per-request spans as Chrome trace-event JSON
 //	bypassd-bench -metrics        # print the unified metrics registry after the run
 //	bypassd-bench -cpuprofile cpu.pprof -memprofile mem.pprof  # host-level pprof profiles
@@ -33,6 +34,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/faults"
+	"repro/internal/frontend"
 	"repro/internal/metrics"
 	"repro/internal/tenants"
 	"repro/internal/trace"
@@ -111,6 +113,51 @@ func runTenants(nameOrPath string, seed int64, devices, shardWorkers int, faults
 	return 0
 }
 
+// runFrontend executes one service-tier fleet — a builtin name or a
+// JSON config file — and prints its per-device table. Like the tenant
+// path, the table goes to stdout and is deterministic for a fixed
+// seed; progress goes to stderr.
+func runFrontend(nameOrPath string, seed int64, devices, shardWorkers int, faultsP, out string) int {
+	fl, ok := frontend.ByName(nameOrPath)
+	if !ok {
+		var err error
+		fl, err = frontend.Load(nameOrPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-frontend %q: not a builtin fleet (try -list) and %v\n", nameOrPath, err)
+			return 1
+		}
+	}
+	if devices > 0 {
+		fl.Devices = devices
+	}
+	if faultsP != "" {
+		if err := faults.Activate(faultsP, seed); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			return 1
+		}
+		defer faults.Deactivate()
+		fmt.Fprintf(os.Stderr, "== fault profile %q armed (seed %d)\n", faultsP, seed)
+	}
+	fmt.Fprintf(os.Stderr, "== running frontend fleet %s (%d users, pool %d, %d device(s), %s admission, seed %d)\n",
+		fl.Name, fl.Users, fl.Pool, fl.NumDevices(), fl.PolicyName(), seed)
+	start := time.Now()
+	res, err := frontend.RunWorkers(seed, fl, shardWorkers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleet %s: %v\n", fl.Name, err)
+		return 1
+	}
+	table := frontend.ReportTable(fl, res).String()
+	fmt.Print(table)
+	fmt.Fprintf(os.Stderr, "== done (wall time %.1fs)\n", time.Since(start).Seconds())
+	if out != "" {
+		if err := os.WriteFile(out, []byte(table), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", out, err)
+			return 1
+		}
+	}
+	return 0
+}
+
 // run is main minus os.Exit, so the profile-writing defers installed
 // for -cpuprofile/-memprofile always flush before the process ends.
 func run() int {
@@ -126,6 +173,7 @@ func run() int {
 		jsonOut  = flag.String("json", "", "write machine-readable results to this file")
 		faultsP  = flag.String("faults", "", "fault-injection profile name (see -list); empty = disabled")
 		tenantsF = flag.String("tenants", "", "run one multi-tenant scenario: a builtin name (see -list) or a JSON config file")
+		frontF   = flag.String("frontend", "", "run one service-tier fleet: a builtin name (see -list) or a JSON config file")
 		devices  = flag.Int("devices", 0, "SSD count for the topology-aware paths: overrides a -tenants scenario's device count and narrows T9 to one cell; 0 = scenario/experiment default")
 		traceOut = flag.String("trace", "", "write per-request spans to this file (Chrome trace-event JSON)")
 		metricsF = flag.Bool("metrics", false, "print the unified metrics registry to stdout after the run")
@@ -177,11 +225,19 @@ func run() int {
 		for _, sc := range tenants.Builtins() {
 			fmt.Printf("%-24s %d tenants, arbiter %s\n", sc.Name, len(sc.Tenants), sc.ArbiterName())
 		}
+		fmt.Println("\nfrontend fleets (-frontend):")
+		for _, fl := range frontend.Builtins() {
+			fmt.Printf("%-24s %d users over pool %d, %s admission, %s backend\n",
+				fl.Name, fl.Users, fl.Pool, fl.PolicyName(), fl.Backend)
+		}
 		return 0
 	}
 
 	if *tenantsF != "" {
 		return runTenants(*tenantsF, *seed, *devices, *shardW, *faultsP, *out)
+	}
+	if *frontF != "" {
+		return runFrontend(*frontF, *seed, *devices, *shardW, *faultsP, *out)
 	}
 
 	if *faultsP != "" {

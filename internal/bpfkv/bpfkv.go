@@ -165,9 +165,16 @@ func searchNode(node []byte, want uint64) uint64 {
 
 // LoadFS writes the image into the kernel file system at path.
 func (st *Store) LoadFS(p *sim.Proc, sys *core.System, path string) error {
+	return st.LoadFSOn(p, sys, 0, path)
+}
+
+// LoadFSOn is LoadFS on topology node devIdx, for multi-SSD callers
+// that keep one image per device; node 0 is exactly the historical
+// LoadFS.
+func (st *Store) LoadFSOn(p *sim.Proc, sys *core.System, devIdx int, path string) error {
 	st.Path = path
 	img := st.BuildImage()
-	pr := sys.NewProcess(ext4.Root)
+	pr := sys.NewProcessOn(ext4.Root, devIdx)
 	fd, err := pr.Create(p, path, 0o666)
 	if err != nil {
 		return err

@@ -29,11 +29,12 @@ func runWorkers(t *testing.T, id string, workers int) string {
 }
 
 // TestReportsWorkerInvariant is the tentpole acceptance gate at the
-// table layer: the tenancy reports must render byte-identically at
-// every worker count. T9's multi-device cells actually exercise the
-// epoch engine; T7/T8 are single-device and must ignore the knob.
+// table layer: the tenancy and frontend reports must render
+// byte-identically at every worker count. T9's and T10's multi-device
+// cells actually exercise the epoch engine; T7/T8 are single-device
+// and must ignore the knob.
 func TestReportsWorkerInvariant(t *testing.T) {
-	for _, id := range []string{"T7", "T8", "T9"} {
+	for _, id := range []string{"T7", "T8", "T9", "T10"} {
 		ref := runWorkers(t, id, 1)
 		for _, w := range []int{2, 8} {
 			if got := runWorkers(t, id, w); got != ref {

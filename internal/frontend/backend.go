@@ -1,0 +1,232 @@
+package frontend
+
+import (
+	"fmt"
+
+	"repro/internal/bpfkv"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/kvell"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/wtiger"
+)
+
+// backend adapts one KV store to the service tier: one store per
+// device (built in device order during setup), one server per pool
+// worker. A backend instance belongs to a single run.
+type backend interface {
+	// writable reports whether the store supports updates (bpfkv is
+	// read-only, so the tier forces WriteFrac to 0 on it).
+	writable() bool
+	// capacity is the per-device byte size the machine boots with.
+	capacity(fl Fleet) int64
+	// build creates device devIdx's store. Called once per device, in
+	// device order, from the coupled setup phase.
+	build(p *sim.Proc, sys *core.System, devIdx int, fl Fleet) error
+	// newServer opens a per-worker connection through the worker's own
+	// process (its own PASID and queue pair when the engine is
+	// BypassD).
+	newServer(w *sim.Proc, sys *core.System, pr *kernel.Process, devIdx int, fl Fleet) (server, error)
+}
+
+// server executes one request end to end on the virtual clock.
+type server interface {
+	do(w *sim.Proc, key uint64, write bool) error
+}
+
+// backendByName returns a fresh backend instance for one run.
+func backendByName(name string) (backend, error) {
+	switch name {
+	case "wtiger":
+		return &wtigerBackend{}, nil
+	case "kvell":
+		return &kvellBackend{}, nil
+	case "bpfkv":
+		return &bpfkvBackend{}, nil
+	}
+	return nil, fmt.Errorf("frontend: unknown backend %q (want wtiger, kvell, or bpfkv)", name)
+}
+
+// storePath is the per-device store file; each device node mounts its
+// own file system, so the same path names a distinct file per device.
+const storePath = "/frontend/db"
+
+// deviceCapacity pads a store's on-disk footprint into a device size:
+// double the data for fs metadata and write headroom, floored at
+// 256 MiB so tiny quick-mode stores still get a realistically sized
+// device.
+func deviceCapacity(storeBytes int64) int64 {
+	c := storeBytes*2 + (64 << 20)
+	if c < 256<<20 {
+		c = 256 << 20
+	}
+	return (c + storage.SectorSize - 1) &^ (storage.SectorSize - 1)
+}
+
+// wtigerBackend serves the WiredTiger-style B-tree: cached pages at
+// CacheFrac of the data, updates in place.
+type wtigerBackend struct {
+	stores []*wtiger.Store
+}
+
+func (b *wtigerBackend) writable() bool { return true }
+
+func (b *wtigerBackend) dataBytes(fl Fleet) int64 {
+	pages := int64(fl.StoreKeys)/int64(wtiger.LeafCap) + 64 // leaves + internal levels
+	return pages * wtiger.PageSize * 2
+}
+
+func (b *wtigerBackend) capacity(fl Fleet) int64 {
+	return deviceCapacity(b.dataBytes(fl))
+}
+
+func (b *wtigerBackend) build(p *sim.Proc, sys *core.System, devIdx int, fl Fleet) error {
+	cache := int64(float64(b.dataBytes(fl)) * fl.CacheFrac)
+	if cache < wtiger.PageSize {
+		cache = wtiger.PageSize
+	}
+	st, err := wtiger.BuildOn(p, sys, sys.M.CPU, devIdx, wtiger.Config{
+		Keys:       fl.StoreKeys,
+		CacheBytes: cache,
+		Path:       storePath,
+	})
+	if err != nil {
+		return err
+	}
+	b.stores = append(b.stores, st)
+	return nil
+}
+
+func (b *wtigerBackend) newServer(w *sim.Proc, sys *core.System, pr *kernel.Process, devIdx int, fl Fleet) (server, error) {
+	io, err := sys.NewFileIO(w, pr, fl.Engine)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := b.stores[devIdx].NewConn(w, io)
+	if err != nil {
+		return nil, err
+	}
+	return &wtigerServer{conn: conn}, nil
+}
+
+type wtigerServer struct {
+	conn *wtiger.Conn
+}
+
+func (s *wtigerServer) do(w *sim.Proc, key uint64, write bool) error {
+	if write {
+		return s.conn.Update(w, key, wtiger.ValueOf(key^0x5a))
+	}
+	_, found, err := s.conn.Lookup(w, key)
+	if err == nil && !found {
+		err = fmt.Errorf("frontend: wtiger key %d missing", key)
+	}
+	return err
+}
+
+// kvellBackend serves the KVell slab: in-memory index, one I/O per
+// request. The BypassD engine uses KVell's synchronous bypass worker;
+// every other engine goes through KVell's native libaio path at queue
+// depth 1 (one request per worker at a time, matching the tier's
+// dispatch model).
+type kvellBackend struct {
+	stores []*kvell.Store
+}
+
+func (b *kvellBackend) writable() bool { return true }
+
+func (b *kvellBackend) capacity(fl Fleet) int64 {
+	slots := int64(fl.StoreKeys) + int64(fl.StoreKeys)/2 + 1024
+	return deviceCapacity(slots * kvell.SlotSize)
+}
+
+func (b *kvellBackend) build(p *sim.Proc, sys *core.System, devIdx int, fl Fleet) error {
+	st, err := kvell.BuildOn(p, sys, devIdx, kvell.Config{Items: fl.StoreKeys, Path: storePath})
+	if err != nil {
+		return err
+	}
+	b.stores = append(b.stores, st)
+	return nil
+}
+
+func (b *kvellBackend) newServer(w *sim.Proc, sys *core.System, pr *kernel.Process, devIdx int, fl Fleet) (server, error) {
+	st := b.stores[devIdx]
+	var wk *kvell.Worker
+	var err error
+	if fl.Engine == core.EngineBypassD {
+		wk, err = kvell.NewBypassWorker(w, sys.Lib(pr), st)
+	} else {
+		wk, err = kvell.NewAioWorker(w, sys, st, pr, 1)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &kvellServer{wk: wk}, nil
+}
+
+type kvellServer struct {
+	wk   *kvell.Worker
+	reqs [1]kvell.Request
+}
+
+func (s *kvellServer) do(w *sim.Proc, key uint64, write bool) error {
+	s.reqs[0] = kvell.Request{Key: key, Write: write}
+	if write {
+		s.reqs[0].Val = kvell.ValueOf(key ^ 0x5a)
+	}
+	return s.wk.Do(w, s.reqs[:])[0].Err
+}
+
+// bpfkvBackend serves the BPF-KV image: an uncached index descent
+// plus data read per lookup. Read-only.
+type bpfkvBackend struct {
+	stores []*bpfkv.Store
+}
+
+func (b *bpfkvBackend) writable() bool { return false }
+
+// bpfkvLevels matches the paper's 6-level index; Plan picks the
+// smallest fanout that covers the key space.
+const bpfkvLevels = 6
+
+func (b *bpfkvBackend) capacity(fl Fleet) int64 {
+	st, err := bpfkv.Plan(fl.StoreKeys, bpfkvLevels)
+	if err != nil {
+		return 256 << 20 // Plan re-runs in build and reports the error
+	}
+	return deviceCapacity(st.FileBytes)
+}
+
+func (b *bpfkvBackend) build(p *sim.Proc, sys *core.System, devIdx int, fl Fleet) error {
+	st, err := bpfkv.Plan(fl.StoreKeys, bpfkvLevels)
+	if err != nil {
+		return err
+	}
+	if err := st.LoadFSOn(p, sys, devIdx, storePath); err != nil {
+		return err
+	}
+	b.stores = append(b.stores, st)
+	return nil
+}
+
+func (b *bpfkvBackend) newServer(w *sim.Proc, sys *core.System, pr *kernel.Process, devIdx int, fl Fleet) (server, error) {
+	io, err := sys.NewFileIO(w, pr, fl.Engine)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := b.stores[devIdx].NewConn(w, io)
+	if err != nil {
+		return nil, err
+	}
+	return &bpfkvServer{conn: conn}, nil
+}
+
+type bpfkvServer struct {
+	conn *bpfkv.Conn
+}
+
+func (s *bpfkvServer) do(w *sim.Proc, key uint64, write bool) error {
+	_, _, err := s.conn.Get(w, key)
+	return err
+}

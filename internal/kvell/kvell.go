@@ -61,6 +61,13 @@ func encodeSlot(key uint64, val [ValSize]byte) []byte {
 // Build creates and populates the slab file with items 0..Items-1,
 // with headroom for inserts.
 func Build(p *sim.Proc, sys *core.System, cfg Config) (*Store, error) {
+	return BuildOn(p, sys, 0, cfg)
+}
+
+// BuildOn is Build on topology node devIdx, for multi-SSD callers
+// that keep one slab per device; node 0 is exactly the historical
+// Build.
+func BuildOn(p *sim.Proc, sys *core.System, devIdx int, cfg Config) (*Store, error) {
 	if cfg.Items == 0 {
 		return nil, fmt.Errorf("kvell: empty store")
 	}
@@ -75,7 +82,7 @@ func Build(p *sim.Proc, sys *core.System, cfg Config) (*Store, error) {
 		IndexCost: 200 * sim.Nanosecond,
 		cpu:       sys.M.CPU,
 	}
-	pr := sys.NewProcess(ext4.Root)
+	pr := sys.NewProcessOn(ext4.Root, devIdx)
 	fd, err := pr.Create(p, cfg.Path, 0o666)
 	if err != nil {
 		return nil, err

@@ -121,22 +121,69 @@ func (h *Histogram) summary() HistogramSummary {
 	return s
 }
 
+// DefaultSeriesCap bounds the number of distinct label-value
+// combinations one metric name may hold. The frontend tier simulates
+// millions of users; a per-user label would otherwise grow the
+// registry without bound and OOM the host. The first cap distinct
+// label-sets resolved for a name keep their own series; every later
+// combination folds into that name's single "_overflow" bucket, so
+// adds are never lost — only aggregated. In a deterministic run the
+// surviving label-sets are deterministic too (series are resolved at
+// machine boot or from generator procs, in simulation order), so
+// Render stays byte-identical with the cap engaged.
+const DefaultSeriesCap = 512
+
+// overflowKey is the fold-target series for a name past its cap.
+func overflowKey(name string) string { return name + `{label="_overflow"}` }
+
 // Registry holds every series created while it was active.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	hists     map[string]*Histogram
+	seriesCap int
+	perName   map[string]int // distinct labeled series per metric name
 }
 
 // NewRegistry returns an empty registry (tests; Activate for the
 // process-global one).
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
+		counters:  make(map[string]*Counter),
+		gauges:    make(map[string]*Gauge),
+		hists:     make(map[string]*Histogram),
+		seriesCap: DefaultSeriesCap,
+		perName:   make(map[string]int),
 	}
+}
+
+// SetSeriesCap overrides the per-name labeled-series cap (tests, or
+// deployments that know their cardinality). Series already created
+// are kept; values below 1 restore the default.
+func (r *Registry) SetSeriesCap(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n < 1 {
+		n = DefaultSeriesCap
+	}
+	r.seriesCap = n
+}
+
+// resolveKey maps (name, labels) to the series key to use, folding
+// new label-sets into the name's overflow bucket once the cap is
+// reached. known reports whether a candidate key already has a series
+// (existing series always resolve to themselves). Callers hold r.mu.
+func (r *Registry) resolveKey(name string, labels []string, known func(string) bool) string {
+	key := seriesKey(name, labels)
+	if len(labels) == 0 || known(key) {
+		return key
+	}
+	if r.perName[name] >= r.seriesCap {
+		return overflowKey(name)
+	}
+	r.perName[name]++
+	return key
 }
 
 var active atomic.Pointer[Registry]
@@ -175,9 +222,9 @@ func seriesKey(name string, labels []string) string {
 
 // Counter resolves (creating on first use) a counter series.
 func (r *Registry) Counter(name string, labels ...string) *Counter {
-	key := seriesKey(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	key := r.resolveKey(name, labels, func(k string) bool { _, ok := r.counters[k]; return ok })
 	c, ok := r.counters[key]
 	if !ok {
 		c = &Counter{}
@@ -188,9 +235,9 @@ func (r *Registry) Counter(name string, labels ...string) *Counter {
 
 // Gauge resolves (creating on first use) a gauge series.
 func (r *Registry) Gauge(name string, labels ...string) *Gauge {
-	key := seriesKey(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	key := r.resolveKey(name, labels, func(k string) bool { _, ok := r.gauges[k]; return ok })
 	g, ok := r.gauges[key]
 	if !ok {
 		g = &Gauge{}
@@ -201,9 +248,9 @@ func (r *Registry) Gauge(name string, labels ...string) *Gauge {
 
 // Histogram resolves (creating on first use) a histogram series.
 func (r *Registry) Histogram(name string, labels ...string) *Histogram {
-	key := seriesKey(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	key := r.resolveKey(name, labels, func(k string) bool { _, ok := r.hists[k]; return ok })
 	h, ok := r.hists[key]
 	if !ok {
 		h = &Histogram{h: stats.NewHistogram()}

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -126,6 +127,79 @@ func TestConcurrentCells(t *testing.T) {
 	// interleaving the workers happened to run in.
 	if mean := s.Histograms["lat"].MeanNS; mean != 1000+(perWorker-1)/2 {
 		t.Fatalf("hist mean = %d", mean)
+	}
+}
+
+// TestSeriesCapFoldsOverflow engages the per-name cardinality cap the
+// way a per-user label from the frontend's million-user population
+// would: the first cap label-sets keep their own series, every later
+// one folds into the name's "_overflow" bucket (adds aggregated, not
+// lost), other metric names are unaffected, and two identical runs
+// render byte-identically with the cap engaged.
+func TestSeriesCapFoldsOverflow(t *testing.T) {
+	const cap = 8
+	const users = 100
+	build := func() *Registry {
+		r := NewRegistry()
+		r.SetSeriesCap(cap)
+		for u := 0; u < users; u++ {
+			r.Counter("frontend_user_ops", "user", string(rune('A'+u%26))+string(rune('a'+u/26))).Add(int64(u + 1))
+			r.Histogram("frontend_user_lat", "user", string(rune('A'+u%26))+string(rune('a'+u/26))).Observe(sim.Time(1000 * (u + 1)))
+		}
+		r.Counter("other_total").Add(int64(users))
+		r.Gauge("depth", "dev", "0").Set(3)
+		return r
+	}
+	r := build()
+
+	s := r.Snapshot()
+	var own, total int64
+	overflow := int64(-1)
+	for k, v := range s.Counters {
+		if !strings.HasPrefix(k, "frontend_user_ops{") {
+			continue
+		}
+		total += v
+		if k == `frontend_user_ops{label="_overflow"}` {
+			overflow = v
+		} else {
+			own++
+		}
+	}
+	if own != cap {
+		t.Fatalf("kept %d dedicated series, want exactly the cap %d", own, cap)
+	}
+	if overflow < 0 {
+		t.Fatal("no _overflow bucket despite exceeding the cap")
+	}
+	if want := int64(users * (users + 1) / 2); total != want {
+		t.Fatalf("adds lost under the cap: total %d, want %d", total, want)
+	}
+	if s.Histograms[`frontend_user_lat{label="_overflow"}`].Count != users-cap {
+		t.Fatalf("histogram overflow count = %d, want %d",
+			s.Histograms[`frontend_user_lat{label="_overflow"}`].Count, users-cap)
+	}
+	// Uncapped names keep resolving normally alongside a capped one.
+	if s.Counters["other_total"] != users || s.Gauges[`depth{dev="0"}`] != 3 {
+		t.Fatalf("unrelated series disturbed by the cap: %+v", s)
+	}
+	// Re-resolving a surviving label-set must still hit its own series,
+	// not the overflow bucket.
+	before := r.Counter("frontend_user_ops", "user", "Aa").Value()
+	r.Counter("frontend_user_ops", "user", "Aa").Inc()
+	if got := r.Counter("frontend_user_ops", "user", "Aa").Value(); got != before+1 {
+		t.Fatalf("surviving series lost identity under the cap: %d -> %d", before, got)
+	}
+
+	// Determinism: identical runs render identically, and the render
+	// stays sorted with the cap engaged.
+	out := build().Render()
+	if out != build().Render() {
+		t.Fatal("render diverged between identical capped runs")
+	}
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")[1:]
+	if !sort.StringsAreSorted(lines) {
+		t.Fatalf("capped render not sorted:\n%s", out)
 	}
 }
 

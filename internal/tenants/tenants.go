@@ -40,18 +40,20 @@ import (
 	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/userlib"
+	"repro/internal/workload"
 )
 
-// Arrival selects a tenant's arrival process.
-type Arrival string
+// Arrival selects a tenant's arrival process. The implementations
+// live in internal/workload, shared with the frontend service tier.
+type Arrival = workload.Process
 
 // Supported arrival processes.
 const (
 	// Poisson draws exponential interarrival gaps at RateOps — the
 	// open-system model whose tail exposes queueing delay.
-	Poisson Arrival = "poisson"
+	Poisson = workload.Poisson
 	// Fixed spaces arrivals exactly 1/RateOps apart.
-	Fixed Arrival = "fixed"
+	Fixed = workload.Fixed
 )
 
 // Tenant describes one client of the shared device.
@@ -177,21 +179,10 @@ func (t *Tenant) validate() error {
 	if t.Ops <= 0 {
 		return fmt.Errorf("tenants: %s: ops must be positive", t.Name)
 	}
-	switch t.Arrival {
-	case "", Poisson, Fixed:
-	default:
+	if !workload.ValidProcess(t.Arrival) {
 		return fmt.Errorf("tenants: %s: unknown arrival process %q", t.Name, t.Arrival)
 	}
 	return nil
-}
-
-// interarrival draws the next gap for the tenant's arrival process.
-func interarrival(rng *rand.Rand, t *Tenant) sim.Time {
-	period := 1e9 / t.RateOps
-	if t.Arrival == Fixed {
-		return sim.Time(period)
-	}
-	return sim.Time(rng.ExpFloat64() * period)
 }
 
 // Run executes a scenario on one freshly booted system and returns
@@ -374,7 +365,7 @@ func startTenant(sys *core.System, pr *kernel.Process, t *Tenant, ti int, seed i
 			if burst > 0 {
 				burst--
 			} else {
-				if gap := interarrival(rng, t); gap > 0 {
+				if gap := workload.Interarrival(rng, t.Arrival, t.RateOps); gap > 0 {
 					g.Sleep(gap)
 				}
 				if inj.Fire(faults.SiteTenantBurst) {

@@ -33,6 +33,19 @@ func newPageCache(s *sim.Sim, budget int64) *pageCache {
 	}
 }
 
+// newPageCacheOn pins the cache lock to the store's device shard, so
+// a multi-SSD caller (the frontend service tier) can run one store
+// per device under the parallel epoch engine: each lock's holders and
+// waiters all live on that device's shard.
+func newPageCacheOn(s *sim.Sim, shard int, budget int64) *pageCache {
+	return &pageCache{
+		lock:   s.NewResourceOn(shard, "wt-cache", 1),
+		budget: budget,
+		lru:    list.New(),
+		byPage: make(map[int64]*list.Element),
+	}
+}
+
 // get probes the cache, charging the lock-held access cost.
 func (c *pageCache) get(p *sim.Proc, pg int64, cost sim.Time, cpu *sim.CPUSet) ([]byte, bool) {
 	c.lock.Acquire(p)

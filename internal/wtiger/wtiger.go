@@ -80,12 +80,20 @@ type Config struct {
 // the kernel interface, and returns the shared Store. Values are a
 // deterministic function of the key so reads can be verified.
 func Build(p *sim.Proc, sys *core.System, cpu *sim.CPUSet, cfg Config) (*Store, error) {
+	return BuildOn(p, sys, cpu, 0, cfg)
+}
+
+// BuildOn is Build on topology node devIdx: the store's file, and
+// every I/O its connections issue, live on that device. Multi-SSD
+// callers (the frontend service tier) build one store per device;
+// node 0 is exactly the historical Build.
+func BuildOn(p *sim.Proc, sys *core.System, cpu *sim.CPUSet, devIdx int, cfg Config) (*Store, error) {
 	if cfg.Keys == 0 {
 		return nil, fmt.Errorf("wtiger: empty store")
 	}
 	img, root, levels, pages := buildImage(cfg.Keys)
 
-	pr := sys.NewProcess(ext4.Root)
+	pr := sys.NewProcessOn(ext4.Root, devIdx)
 	fd, err := pr.Create(p, cfg.Path, 0o666)
 	if err != nil {
 		return nil, err
@@ -112,7 +120,7 @@ func Build(p *sim.Proc, sys *core.System, cpu *sim.CPUSet, cfg Config) (*Store, 
 		Root:            root,
 		Levels:          levels,
 		Keys:            cfg.Keys,
-		cache:           newPageCache(sys.Sim, cfg.CacheBytes),
+		cache:           newPageCacheOn(sys.Sim, sys.M.Nodes[devIdx].Shard, cfg.CacheBytes),
 		delta:           make(map[uint64][ValSize]byte),
 		CacheAccessCost: 250 * sim.Nanosecond,
 		cpu:             cpu,

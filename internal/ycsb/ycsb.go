@@ -1,14 +1,17 @@
 // Package ycsb generates YCSB workloads A-F (Cooper et al.), the
 // request streams driving the paper's WiredTiger and KVell
-// experiments (Figs. 13, 14, 16). The zipfian generator follows the
+// experiments (Figs. 13, 14, 16). The zipfian generator is the
 // standard YCSB implementation (Gray et al.'s algorithm with
-// theta = 0.99 and scrambled key order).
+// theta = 0.99 and scrambled key order), shared with the service
+// tier through internal/workload so both draw from one seeded
+// implementation.
 package ycsb
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
+
+	"repro/internal/workload"
 )
 
 // OpType is a workload operation kind.
@@ -84,63 +87,13 @@ var Workloads = map[string]Workload{
 	"A": A, "B": B, "C": C, "D": D, "E": E, "F": F,
 }
 
-const theta = 0.99
-
-// zipfGen samples ranks in [0, n) with zipfian skew (YCSB
-// parameters).
-type zipfGen struct {
-	n     uint64
-	zetan float64
-	zeta2 float64
-	alpha float64
-	eta   float64
-}
-
-func zeta(n uint64, th float64) float64 {
-	var sum float64
-	for i := uint64(1); i <= n; i++ {
-		sum += 1 / math.Pow(float64(i), th)
-	}
-	return sum
-}
-
-func newZipf(n uint64) *zipfGen {
-	z := &zipfGen{n: n}
-	z.zetan = zeta(n, theta)
-	z.zeta2 = zeta(2, theta)
-	z.alpha = 1 / (1 - theta)
-	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
-	return z
-}
-
-func (z *zipfGen) next(rng *rand.Rand) uint64 {
-	u := rng.Float64()
-	uz := u * z.zetan
-	if uz < 1 {
-		return 0
-	}
-	if uz < 1+math.Pow(0.5, theta) {
-		return 1
-	}
-	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
-}
-
-// fnv64 scrambles ranks so hot keys spread over the key space.
-func fnv64(x uint64) uint64 {
-	h := uint64(14695981039346656037)
-	for i := 0; i < 8; i++ {
-		h ^= x & 0xff
-		h *= 1099511628211
-		x >>= 8
-	}
-	return h
-}
+const theta = workload.DefaultZipfTheta
 
 // Generator produces a deterministic request stream.
 type Generator struct {
 	wl      Workload
 	rng     *rand.Rand
-	zipf    *zipfGen
+	zipf    *workload.Zipf
 	records uint64 // grows with inserts
 }
 
@@ -155,7 +108,7 @@ func NewGenerator(wl Workload, records uint64, seed int64) *Generator {
 		records: records,
 	}
 	if wl.Dist == Zipfian || wl.Dist == Latest {
-		g.zipf = newZipf(records)
+		g.zipf = workload.NewZipf(records, theta)
 	}
 	return g
 }
@@ -170,13 +123,13 @@ func (g *Generator) nextKey() uint64 {
 		return uint64(g.rng.Int63n(int64(g.records)))
 	case Latest:
 		// Most popular = most recently inserted.
-		r := g.zipf.next(g.rng)
+		r := g.zipf.Next(g.rng)
 		if r >= g.records {
 			r = g.records - 1
 		}
 		return g.records - 1 - r
 	default: // zipfian, scrambled
-		return fnv64(g.zipf.next(g.rng)) % g.records
+		return workload.Scramble(g.zipf.Next(g.rng)) % g.records
 	}
 }
 
